@@ -1,0 +1,78 @@
+// §2.2 strategy comparison: backtracking (Fig. 6) vs hitting-set (Fig. 7).
+//
+// "The results obtained for the backtracking approach and the hitting set
+// approach ... were quite similar" — verified here on the six programs and
+// on synthetic streams of increasing conflict density.
+#include <cstdio>
+
+#include "analysis/pipeline.h"
+#include "assign/verify.h"
+#include "support/table.h"
+#include "workloads/stream_gen.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace parmem;
+
+assign::AssignStats run_on_stream(const ir::AccessStream& s,
+                                  assign::DupMethod m, std::size_t k) {
+  assign::AssignOptions o;
+  o.module_count = k;
+  o.method = m;
+  const auto r = assign::assign_modules(s, o);
+  return r.stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Duplication strategies: backtracking (Fig. 6) vs hitting-set "
+              "(Fig. 7)\npaper: results 'quite similar'\n\n");
+
+  // --- The six programs (k = 8, as in Table 1). ---
+  {
+    support::TextTable table({"program", "bt >1", "bt copies", "hs >1",
+                              "hs copies"});
+    for (const auto& w : workloads::all_workloads()) {
+      analysis::PipelineOptions o;
+      o.sched.fu_count = 8;
+      o.sched.module_count = 8;
+      o.assign.module_count = 8;
+      o.assign.method = assign::DupMethod::kBacktracking;
+      const auto bt = analysis::compile_mc(w.source, o);
+      o.assign.method = assign::DupMethod::kHittingSet;
+      const auto hs = analysis::compile_mc(w.source, o);
+      table.add_row({w.name, std::to_string(bt.assignment.stats.multi_copy),
+                     std::to_string(bt.assignment.stats.total_copies),
+                     std::to_string(hs.assignment.stats.multi_copy),
+                     std::to_string(hs.assignment.stats.total_copies)});
+    }
+    std::printf("six benchmark programs, k = 8:\n");
+    std::fputs(table.render().c_str(), stdout);
+  }
+
+  // --- Synthetic streams with rising conflict pressure (k = 4). ---
+  {
+    std::printf("\nsynthetic streams, k = 4, width 3-4, 48 values:\n");
+    support::TextTable table({"instructions", "bt >1", "bt copies", "hs >1",
+                              "hs copies"});
+    for (const std::size_t tuples : {40u, 80u, 160u, 320u}) {
+      support::SplitMix64 rng(42);
+      workloads::StreamGenOptions g;
+      g.value_count = 48;
+      g.tuple_count = tuples;
+      g.min_width = 3;
+      g.max_width = 4;
+      const auto s = workloads::random_stream(g, rng);
+      const auto bt = run_on_stream(s, assign::DupMethod::kBacktracking, 4);
+      const auto hs = run_on_stream(s, assign::DupMethod::kHittingSet, 4);
+      table.add_row({std::to_string(tuples), std::to_string(bt.multi_copy),
+                     std::to_string(bt.total_copies),
+                     std::to_string(hs.multi_copy),
+                     std::to_string(hs.total_copies)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+  return 0;
+}

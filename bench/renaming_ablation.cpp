@@ -1,0 +1,51 @@
+// §3 extension ablation: per-region renaming on vs off.
+//
+// "The results would likely be improved by first applying renaming
+// techniques to the code to remove storage related dependences." Renaming
+// splits intra-block definition chains of mutable variables into fresh
+// single-assignment values: the scheduler can pack tighter words (ILP up)
+// and more values become duplicable.
+#include <cstdio>
+
+#include "analysis/pipeline.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace parmem;
+  std::printf("Renaming extension ablation (the paper's suggested "
+              "improvement, §3)\n\n");
+
+  support::TextTable table({"program", "renamed defs", "words", "words+rn",
+                            "ILP", "ILP+rn", "cycles", "cycles+rn"});
+
+  for (const auto& w : workloads::all_workloads()) {
+    analysis::PipelineOptions base;
+    base.sched.fu_count = 8;
+    base.sched.module_count = 8;
+    base.assign.module_count = 8;
+    auto renamed = base;
+    renamed.rename = true;
+
+    const auto c0 = analysis::compile_mc(w.source, base);
+    const auto c1 = analysis::compile_mc(w.source, renamed);
+
+    machine::MachineConfig cfg;
+    cfg.module_count = 8;
+    const auto r0 = analysis::run_and_check(c0, cfg);
+    const auto r1 = analysis::run_and_check(c1, cfg);
+
+    table.add_row({w.name,
+                   std::to_string(c1.rename_stats.definitions_renamed),
+                   std::to_string(c0.sched_stats.words),
+                   std::to_string(c1.sched_stats.words),
+                   support::format_fixed(c0.sched_stats.ilp(), 2),
+                   support::format_fixed(c1.sched_stats.ilp(), 2),
+                   std::to_string(r0.liw.cycles),
+                   std::to_string(r1.liw.cycles)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n(outputs of renamed and plain builds are checked identical "
+              "by run_and_check)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// List-scheduler priority ablation: critical-path height (the default)
+// versus naive source order. The assignment algorithms consume whatever
+// words the scheduler produces; tighter packing means more simultaneous
+// fetches and a harder (more paper-like) assignment problem.
+#include <cstdio>
+
+#include "analysis/pipeline.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace parmem;
+  std::printf("List-scheduler priority ablation (8 FUs, 8 modules)\n\n");
+
+  support::TextTable table({"program", "words (CP)", "words (src)",
+                            "ILP (CP)", "ILP (src)", "cycles (CP)",
+                            "cycles (src)"});
+  for (const auto& w : workloads::all_workloads()) {
+    analysis::PipelineOptions cp;
+    cp.sched.fu_count = 8;
+    cp.sched.module_count = 8;
+    cp.assign.module_count = 8;
+    cp.sched.priority = sched::SchedPriority::kCriticalPath;
+    auto src = cp;
+    src.sched.priority = sched::SchedPriority::kSourceOrder;
+
+    const auto c0 = analysis::compile_mc(w.source, cp);
+    const auto c1 = analysis::compile_mc(w.source, src);
+    machine::MachineConfig cfg;
+    cfg.module_count = 8;
+    const auto r0 = analysis::run_and_check(c0, cfg);
+    const auto r1 = analysis::run_and_check(c1, cfg);
+    if (r0.liw.output != r1.liw.output) {
+      std::fprintf(stderr, "OUTPUT MISMATCH for %s\n", w.name.c_str());
+      return 1;
+    }
+    table.add_row({w.name, std::to_string(c0.sched_stats.words),
+                   std::to_string(c1.sched_stats.words),
+                   support::format_fixed(c0.sched_stats.ilp(), 2),
+                   support::format_fixed(c1.sched_stats.ilp(), 2),
+                   std::to_string(r0.liw.cycles),
+                   std::to_string(r1.liw.cycles)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n(outputs verified identical across priorities)\n");
+  return 0;
+}

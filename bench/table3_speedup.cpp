@@ -1,0 +1,54 @@
+// Reproduces the §3 speed-up claim: "The results obtained for the overall
+// speed-up in execution on the reconfigurable long instruction word (RLIW)
+// system varied from 64-300%."
+//
+// Each program is compiled twice conceptually: the sequential reference
+// machine executes the TAC one operation at a time; the LIW machine (8
+// functional units, 8 modules, interleaved arrays) executes the packed
+// words. Speed-up = sequential cycles / LIW cycles; the paper quotes it as
+// a percentage improvement (speedup - 1).
+#include <cstdio>
+
+#include "analysis/pipeline.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace parmem;
+  std::printf("Overall LIW speed-up (8 FUs, 8 modules) vs sequential\n");
+  std::printf("paper: 64%%-300%% improvement\n\n");
+
+  support::TextTable table({"program", "seq cycles", "LIW cycles", "words",
+                            "ILP", "transfers", "speedup", "improvement"});
+
+  double min_imp = 1e9, max_imp = -1e9;
+  for (const auto& w : workloads::all_workloads()) {
+    analysis::PipelineOptions o;
+    o.sched.fu_count = 8;
+    o.sched.module_count = 8;
+    o.assign.module_count = 8;
+    const auto c = analysis::compile_mc(w.source, o);
+
+    machine::MachineConfig cfg;
+    cfg.module_count = 8;
+    const auto pair = analysis::run_and_check(c, cfg);
+
+    const double speedup = static_cast<double>(pair.sequential.cycles) /
+                           static_cast<double>(pair.liw.cycles);
+    const double improvement = (speedup - 1.0) * 100.0;
+    min_imp = std::min(min_imp, improvement);
+    max_imp = std::max(max_imp, improvement);
+
+    table.add_row({w.name, std::to_string(pair.sequential.cycles),
+                   std::to_string(pair.liw.cycles),
+                   std::to_string(pair.liw.words_executed),
+                   support::format_fixed(c.sched_stats.ilp(), 2),
+                   std::to_string(pair.liw.transfers_executed),
+                   support::format_fixed(speedup, 2),
+                   support::format_fixed(improvement, 0) + "%"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nimprovement range: %.0f%% .. %.0f%% (paper: 64%%-300%%)\n",
+              min_imp, max_imp);
+  return 0;
+}

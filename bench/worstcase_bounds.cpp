@@ -1,0 +1,172 @@
+// Worst-case bound study (§2.1, §2.2.1, §2.2.2.2).
+//
+// The paper quotes three heuristic/optimal bounds:
+//   * node removal during coloring: up to (n-k)/2;
+//   * backtracking duplication: up to (k-1) x the optimal copy count;
+//   * hitting set: the harmonic bound H_m.
+// This bench measures where the implementations actually land against
+// exact optima on exhaustive families of small random instances — worst
+// observed ratio and distribution, per bound.
+#include <algorithm>
+#include <cstdio>
+
+#include "assign/assigner.h"
+#include "assign/color_heuristic.h"
+#include "assign/conflict_graph.h"
+#include "assign/exact.h"
+#include "assign/hitting_set.h"
+#include "assign/verify.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace parmem;
+
+void removal_study() {
+  std::printf("-- node removal vs optimal (Fig. 4 heuristic; paper worst "
+              "case (n-k)/2) --\n");
+  support::TextTable table({"k", "instances", "both zero", "heur=opt",
+                            "worst heur", "worst opt", "worst ratio"});
+  support::SplitMix64 rng(11);
+  for (const std::size_t k : {2u, 3u}) {
+    std::size_t both_zero = 0, equal = 0, total = 0;
+    std::size_t worst_h = 0, worst_o = 0;
+    double worst_ratio = 1.0;
+    for (int iter = 0; iter < 120; ++iter) {
+      const std::size_t n = 5 + rng.below(6);
+      const auto g = graph::Graph::random(n, 0.35 + 0.3 * rng.uniform(), rng);
+      std::vector<std::vector<ir::ValueId>> tuples;
+      for (graph::Vertex u = 0; u < n; ++u) {
+        for (const graph::Vertex w : g.neighbors(u)) {
+          if (w > u) tuples.push_back({u, w});
+        }
+      }
+      if (tuples.empty()) continue;
+      ++total;
+      const auto s = ir::AccessStream::from_tuples(n, tuples);
+      const auto cg = assign::ConflictGraph::build(s);
+      const auto cr =
+          assign::color_conflict_graph(cg, {.module_count = k});
+      const std::size_t opt = assign::exact_min_removals(g, k);
+      const std::size_t heur = cr.unassigned.size();
+      if (heur == 0 && opt == 0) ++both_zero;
+      if (heur == opt) ++equal;
+      if (opt > 0 && static_cast<double>(heur) / opt > worst_ratio) {
+        worst_ratio = static_cast<double>(heur) / static_cast<double>(opt);
+        worst_h = heur;
+        worst_o = opt;
+      }
+    }
+    table.add_row({std::to_string(k), std::to_string(total),
+                   std::to_string(both_zero), std::to_string(equal),
+                   std::to_string(worst_h), std::to_string(worst_o),
+                   support::format_fixed(worst_ratio, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+void copies_study() {
+  std::printf("\n-- duplication vs optimal copies (paper worst case: "
+              "backtracking (k-1)x) --\n");
+  support::TextTable table({"method", "instances", "optimal hit", "avg ratio",
+                            "worst ratio"});
+  for (const auto method : {assign::DupMethod::kBacktracking,
+                            assign::DupMethod::kHittingSet}) {
+    support::SplitMix64 rng(23);
+    std::size_t total = 0, hit = 0;
+    double sum_ratio = 0, worst = 1.0;
+    for (int iter = 0; iter < 80; ++iter) {
+      const std::size_t nv = 4 + rng.below(4);
+      const std::size_t k = 3;
+      std::vector<std::vector<ir::ValueId>> tuples;
+      const std::size_t nt = 4 + rng.below(5);
+      for (std::size_t t = 0; t < nt; ++t) {
+        std::vector<ir::ValueId> ops;
+        while (ops.size() < k) {
+          const auto v = static_cast<ir::ValueId>(rng.below(nv));
+          if (std::find(ops.begin(), ops.end(), v) == ops.end()) {
+            ops.push_back(v);
+          }
+        }
+        tuples.push_back(ops);
+      }
+      const auto s = ir::AccessStream::from_tuples(nv, tuples);
+      const auto opt = assign::exact_min_copies(s, k);
+      if (!opt.has_value()) continue;
+      ++total;
+      assign::AssignOptions o;
+      o.module_count = k;
+      o.method = method;
+      const auto r = assign::assign_modules(s, o);
+      const double ratio = static_cast<double>(r.stats.total_copies) /
+                           static_cast<double>(opt->total_copies);
+      sum_ratio += ratio;
+      worst = std::max(worst, ratio);
+      if (r.stats.total_copies == opt->total_copies) ++hit;
+    }
+    table.add_row({assign::dup_method_name(method), std::to_string(total),
+                   std::to_string(hit),
+                   support::format_fixed(sum_ratio / total, 3),
+                   support::format_fixed(worst, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+void hitting_set_study() {
+  std::printf("\n-- greedy hitting set vs optimal (paper bound: H_m) --\n");
+  support::TextTable table({"universe", "instances", "optimal hit",
+                            "avg ratio", "worst ratio", "H_m bound"});
+  support::SplitMix64 rng(37);
+  for (const std::size_t universe : {6u, 10u, 14u}) {
+    std::size_t total = 0, hit = 0;
+    double sum_ratio = 0, worst = 1.0;
+    std::size_t max_m = 0;
+    for (int iter = 0; iter < 150; ++iter) {
+      const std::size_t nsets = 3 + rng.below(10);
+      std::vector<std::vector<std::uint32_t>> sets;
+      std::vector<std::size_t> occ(universe, 0);
+      for (std::size_t i = 0; i < nsets; ++i) {
+        std::vector<std::uint32_t> set;
+        const std::size_t size = 1 + rng.below(4);
+        while (set.size() < size) {
+          const auto e = static_cast<std::uint32_t>(rng.below(universe));
+          if (std::find(set.begin(), set.end(), e) == set.end()) {
+            set.push_back(e);
+          }
+        }
+        for (const auto e : set) ++occ[e];
+        sets.push_back(std::move(set));
+      }
+      const auto greedy = assign::greedy_hitting_set(sets);
+      const auto exact = assign::exact_hitting_set(sets);
+      ++total;
+      max_m = std::max(max_m, *std::max_element(occ.begin(), occ.end()));
+      const double ratio = static_cast<double>(greedy.size()) /
+                           static_cast<double>(exact.size());
+      sum_ratio += ratio;
+      worst = std::max(worst, ratio);
+      if (greedy.size() == exact.size()) ++hit;
+    }
+    double hm = 0;
+    for (std::size_t j = 1; j <= std::max<std::size_t>(max_m, 1); ++j) {
+      hm += 1.0 / static_cast<double>(j);
+    }
+    table.add_row({std::to_string(universe), std::to_string(total),
+                   std::to_string(hit),
+                   support::format_fixed(sum_ratio / total, 3),
+                   support::format_fixed(worst, 2),
+                   support::format_fixed(hm, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Heuristic vs exact optimum on small instances\n\n");
+  removal_study();
+  copies_study();
+  hitting_set_study();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Sweep the number of memory modules for one workload (FFT by default) and
+// watch the trade-off the paper's Table 2 hints at: fewer modules mean more
+// duplication pressure on scalars and more run-time array conflicts.
+//
+//   build/examples/bank_sweep [WORKLOAD]
+#include <cstdio>
+#include <string>
+
+#include "analysis/pipeline.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace parmem;
+  const std::string name = argc > 1 ? argv[1] : "FFT";
+  const auto& w = workloads::workload(name);
+  std::printf("module-count sweep for %s (%s)\n\n", w.name.c_str(),
+              w.description.c_str());
+
+  support::TextTable table({"modules", ">1 copies", "transfers", "words",
+                            "LIW cycles", "t_ave/t_min", "speedup"});
+
+  for (const std::size_t k : {2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+    analysis::PipelineOptions o;
+    o.sched.fu_count = 8;
+    o.sched.module_count = k;
+    o.assign.module_count = k;
+    const auto c = analysis::compile_mc(w.source, o);
+
+    machine::MachineConfig cfg;
+    cfg.module_count = k;
+    cfg.array_policy = machine::ArrayPolicy::kIdealSpread;
+    const auto tmin = machine::run_liw(c.liw, c.assignment, cfg);
+    cfg.array_policy = machine::ArrayPolicy::kInterleaved;
+    const auto run = machine::run_liw(c.liw, c.assignment, cfg);
+    const auto seq = machine::run_sequential(c.tac, cfg);
+
+    table.add_row(
+        {std::to_string(k), std::to_string(c.assignment.stats.multi_copy),
+         std::to_string(c.transfer_stats.transfers),
+         std::to_string(c.sched_stats.words), std::to_string(run.cycles),
+         support::format_fixed(
+             tmin.analytic_transfer_time /
+                 static_cast<double>(tmin.memory_transfer_time),
+             2),
+         support::format_fixed(static_cast<double>(seq.cycles) /
+                                   static_cast<double>(run.cycles),
+                               2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

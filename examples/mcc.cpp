@@ -1,0 +1,165 @@
+// mcc — the MC compiler driver, as a command-line tool.
+//
+//   build/examples/mcc FILE.mc [options]
+//   build/examples/mcc --workload FFT [options]
+//
+// Options:
+//   --strategy STOR1|STOR2|STOR3   allocation strategy (default STOR1)
+//   --method bt|hs                 duplication method (default hs)
+//   -k N                           memory modules (default 8)
+//   --fu N                         functional units (default 8)
+//   --rename                       apply the renaming extension
+//   --dump-tac / --dump-liw        print intermediate code
+//   --dump-dot                     print the conflict graph in DOT syntax
+//   --emit-stream                  print the access stream (stream_io format,
+//                                  consumable by examples/assign_stream)
+//   --run                          execute and print program output + cycles
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/pipeline.h"
+#include "graph/dot.h"
+#include "ir/stream_io.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mcc FILE.mc | --workload NAME  [--strategy STORn] "
+               "[--method bt|hs] [-k N] [--fu N] [--rename] [--dump-tac] "
+               "[--dump-liw] [--run]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parmem;
+
+  std::string source;
+  std::string source_name;
+  analysis::PipelineOptions opts;
+  opts.sched.fu_count = 8;
+  opts.sched.module_count = 8;
+  opts.assign.module_count = 8;
+  bool dump_tac = false, dump_liw = false, dump_dot = false,
+       emit_stream = false, run = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      const auto& w = workloads::workload(next());
+      source = w.source;
+      source_name = w.name;
+    } else if (arg == "--strategy") {
+      const std::string s = next();
+      if (s == "STOR1") opts.assign.strategy = assign::Strategy::kStor1;
+      else if (s == "STOR2") opts.assign.strategy = assign::Strategy::kStor2;
+      else if (s == "STOR3") opts.assign.strategy = assign::Strategy::kStor3;
+      else return usage();
+    } else if (arg == "--method") {
+      const std::string m = next();
+      if (m == "bt") opts.assign.method = assign::DupMethod::kBacktracking;
+      else if (m == "hs") opts.assign.method = assign::DupMethod::kHittingSet;
+      else return usage();
+    } else if (arg == "-k") {
+      opts.assign.module_count = opts.sched.module_count =
+          static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--fu") {
+      opts.sched.fu_count = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--rename") {
+      opts.rename = true;
+    } else if (arg == "--dump-tac") {
+      dump_tac = true;
+    } else if (arg == "--dump-liw") {
+      dump_liw = true;
+    } else if (arg == "--dump-dot") {
+      dump_dot = true;
+    } else if (arg == "--emit-stream") {
+      emit_stream = true;
+    } else if (arg == "--run") {
+      run = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      std::ifstream in(arg);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+        return 1;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      source = ss.str();
+      source_name = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (source.empty()) return usage();
+
+  try {
+    const auto c = analysis::compile_mc(source, opts);
+    if (dump_tac) std::printf("%s\n", c.tac.to_string().c_str());
+    if (dump_liw) std::printf("%s\n", c.liw.to_string().c_str());
+    if (emit_stream) {
+      std::printf("%s", ir::format_stream(c.stream).c_str());
+    }
+    if (dump_dot) {
+      const auto cg = assign::ConflictGraph::build(c.stream);
+      graph::DotOptions d;
+      d.graph_name = "conflicts";
+      d.label = [&](graph::Vertex v) {
+        return c.liw.values.info(cg.value_of(v)).name;
+      };
+      d.edge_label = [&](graph::Vertex u, graph::Vertex v) {
+        return std::to_string(cg.conf(u, v));
+      };
+      std::printf("%s", graph::to_dot(cg.graph(), d).c_str());
+    }
+
+    // With --emit-stream, stdout carries only the machine-readable stream
+    // (pipe it straight into examples/assign_stream).
+    if (!emit_stream) {
+      std::printf(
+          "%s: %zu TAC ops -> %zu words (ILP %.2f), strategy %s/%s, k=%zu\n",
+          source_name.c_str(), c.tac.instrs.size(), c.sched_stats.words,
+          c.sched_stats.ilp(), assign::strategy_name(opts.assign.strategy),
+          assign::dup_method_name(opts.assign.method),
+          opts.assign.module_count);
+      std::printf(
+          "assignment: %zu values (=1: %zu, >1: %zu), %zu transfers "
+          "scheduled, %s\n",
+          c.assignment.stats.values_used, c.assignment.stats.single_copy,
+          c.assignment.stats.multi_copy, c.transfer_stats.transfers,
+          c.verify.ok() ? "conflict-free" : "RESIDUAL CONFLICTS");
+    }
+
+    if (run) {
+      machine::MachineConfig cfg;
+      cfg.module_count = opts.assign.module_count;
+      cfg.fu_count = opts.sched.fu_count;
+      const auto pair = analysis::run_and_check(c, cfg);
+      for (const auto& line : pair.liw.output) {
+        std::printf("%s\n", line.c_str());
+      }
+      std::printf("[%llu cycles LIW, %llu sequential, speedup %.2fx]\n",
+                  static_cast<unsigned long long>(pair.liw.cycles),
+                  static_cast<unsigned long long>(pair.sequential.cycles),
+                  static_cast<double>(pair.sequential.cycles) /
+                      static_cast<double>(pair.liw.cycles));
+    }
+  } catch (const support::UserError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

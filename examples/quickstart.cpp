@@ -1,0 +1,46 @@
+// Quickstart: assign memory modules to the scalar operands of a handful of
+// long instructions — the paper's Fig. 1 scenario, through the public API.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "assign/assigner.h"
+#include "assign/verify.h"
+#include "ir/access.h"
+
+int main() {
+  using namespace parmem;
+
+  // Three long instructions, denoted by the data values they fetch
+  // simultaneously (the operations don't matter for module assignment).
+  // V1..V5 are value ids 0..4; the machine has three memory modules.
+  const auto stream = ir::AccessStream::from_tuples(
+      /*value_count=*/5, {
+                             {0, 1, 3},  // V1 V2 V4
+                             {1, 2, 4},  // V2 V3 V5
+                             {1, 2, 3},  // V2 V3 V4
+                         });
+
+  assign::AssignOptions options;
+  options.module_count = 3;
+
+  const assign::AssignResult result = assign::assign_modules(stream, options);
+
+  std::printf("module assignment (k = %zu):\n", result.module_count);
+  for (ir::ValueId v = 0; v < stream.value_count; ++v) {
+    std::printf("  V%u ->", v + 1);
+    for (const std::uint32_t m : assign::modules_of(result.placement[v])) {
+      std::printf(" M%u", m + 1);
+    }
+    std::printf("%s\n", result.removed[v] ? "   (duplicated)" : "");
+  }
+  std::printf("values with one copy: %zu, with several: %zu\n",
+              result.stats.single_copy, result.stats.multi_copy);
+
+  // The central guarantee: every instruction can now fetch all its operands
+  // in one memory cycle (distinct modules).
+  const auto report = assign::verify_assignment(stream, result);
+  std::printf("predictable conflicts remaining: %zu\n",
+              report.conflicting_tuples.size());
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+#include "analysis/pipeline.h"
+
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "lower/lower.h"
+#include "support/diagnostics.h"
+
+namespace parmem::analysis {
+
+Compiled compile_mc(const std::string& source, const PipelineOptions& opts) {
+  Compiled c;
+
+  frontend::Program ast = frontend::parse(source);
+  frontend::sema(ast);
+  c.unroll_stats = frontend::unroll_loops(ast, opts.unroll);
+  c.tac = lower::lower_program(ast, opts.lower);
+  if (opts.rename) {
+    c.rename_stats = lower::rename_locals(c.tac);
+  }
+  if (opts.if_convert.max_ops > 0) {
+    c.if_convert_stats = lower::if_convert(c.tac, opts.if_convert);
+  }
+  if (opts.optimize) {
+    c.opt_stats = lower::optimize(c.tac);
+  }
+
+  c.liw = sched::schedule(c.tac, opts.sched, &c.sched_stats);
+  c.stream = ir::AccessStream::from_liw(c.liw, opts.include_writes,
+                                        opts.duplicate_mutables);
+  c.assignment = assign::assign_modules(c.stream, opts.assign);
+  c.verify = assign::verify_assignment(c.stream, c.assignment);
+  c.transfer_stats =
+      sched::schedule_transfers(c.liw, c.assignment, opts.sched.fu_count);
+  return c;
+}
+
+ExecutionPair run_and_check(const Compiled& compiled,
+                            const machine::MachineConfig& config) {
+  ExecutionPair pair;
+  pair.liw = machine::run_liw(compiled.liw, compiled.assignment, config);
+  pair.sequential = machine::run_sequential(compiled.tac, config);
+  PARMEM_CHECK(pair.liw.output == pair.sequential.output,
+               "LIW output diverges from the sequential reference for '" +
+                   compiled.tac.name + "'");
+  return pair;
+}
+
+}  // namespace parmem::analysis

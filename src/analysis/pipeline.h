@@ -1,0 +1,79 @@
+// The full compilation pipeline, end to end:
+//
+//   MC source -> AST -> TAC (-> renaming) -> long instruction words
+//   -> access stream -> module assignment (STOR1/2/3, Fig. 4/6/7/9/10)
+//   -> scheduled copy transfers -> simulatable LIW program.
+//
+// This is the one-call entry point the examples, tests and benches build
+// on; each stage's artifact is kept so callers can inspect or re-run any
+// part.
+#pragma once
+
+#include <string>
+
+#include "assign/assigner.h"
+#include "assign/verify.h"
+#include "frontend/unroll.h"
+#include "ir/access.h"
+#include "ir/liw.h"
+#include "ir/tac.h"
+#include "lower/ifconvert.h"
+#include "lower/lower.h"
+#include "lower/opt.h"
+#include "lower/rename.h"
+#include "machine/simulator.h"
+#include "sched/list_scheduler.h"
+#include "sched/transfer_sched.h"
+
+namespace parmem::analysis {
+
+struct PipelineOptions {
+  sched::SchedOptions sched;
+  assign::AssignOptions assign;
+  lower::LowerOptions lower;
+  /// Full unrolling of small constant-bound loops — the stand-in for the
+  /// RLIW compiler's region scheduling (see frontend/unroll.h). Set
+  /// unroll.max_trip = 0 to disable.
+  frontend::UnrollOptions unroll;
+  /// Apply the §3 renaming extension before scheduling.
+  bool rename = false;
+  /// Run copy propagation + dead code elimination on the TAC.
+  bool optimize = true;
+  /// If-convert pure branch bodies into selects (region-scheduling style
+  /// block enlargement). Set if_convert.max_ops = 0 to disable.
+  lower::IfConvertOptions if_convert;
+  /// Count destination writes as module accesses when extracting the
+  /// access stream (off = the paper's operand-fetch model).
+  bool include_writes = false;
+  /// Allow duplicating mutable values (each copy refreshed by a scheduled
+  /// transfer after every definition). On = the paper's §2 value model.
+  bool duplicate_mutables = true;
+};
+
+struct Compiled {
+  ir::TacProgram tac;                 // after lowering (+ renaming)
+  frontend::UnrollStats unroll_stats;
+  lower::RenameStats rename_stats;    // zeros when renaming is off
+  lower::OptStats opt_stats;          // zeros when optimization is off
+  lower::IfConvertStats if_convert_stats;
+  sched::SchedStats sched_stats;
+  ir::AccessStream stream;            // extracted from the scheduled words
+  assign::AssignResult assignment;
+  assign::VerifyReport verify;
+  sched::TransferStats transfer_stats;
+  ir::LiwProgram liw;                 // final program, transfers included
+};
+
+/// Compiles MC source through the whole pipeline.
+Compiled compile_mc(const std::string& source, const PipelineOptions& opts);
+
+/// Convenience: run the compiled program and its sequential reference,
+/// checking that their outputs agree (throws InternalError on divergence).
+struct ExecutionPair {
+  machine::RunResult liw;
+  machine::RunResult sequential;
+};
+ExecutionPair run_and_check(const Compiled& compiled,
+                            const machine::MachineConfig& config);
+
+}  // namespace parmem::analysis

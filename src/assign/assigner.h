@@ -1,0 +1,73 @@
+// Top-level memory-module assignment (the paper's Fig. 2 strategy):
+//
+//   construct the access-conflict graph; color it with the Fig. 4 heuristic
+//   (per clique-separator atom); avoid the remaining conflicts by
+//   duplication (Fig. 6 backtracking or Fig. 7 hitting-set) and placement
+//   (Fig. 10).
+//
+// Three allocation strategies from the evaluation (§3):
+//   STOR1 — all values and instructions at once (unbounded graph);
+//   STOR2 — two stages: values live across regions first, then the locals
+//           of each region with the globals pre-bound;
+//   STOR3 — the instruction list is split into consecutive windows (the
+//           paper used two); later windows keep earlier bindings fixed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assign/color_heuristic.h"
+#include "assign/module_set.h"
+#include "ir/access.h"
+
+namespace parmem::assign {
+
+enum class Strategy : std::uint8_t { kStor1, kStor2, kStor3 };
+enum class DupMethod : std::uint8_t { kBacktracking, kHittingSet };
+
+const char* strategy_name(Strategy s);
+const char* dup_method_name(DupMethod m);
+
+struct AssignOptions {
+  std::size_t module_count = 8;
+  Strategy strategy = Strategy::kStor1;
+  DupMethod method = DupMethod::kHittingSet;
+  /// Number of instruction windows for STOR3 (the paper's experiment: 2).
+  std::size_t stor3_windows = 2;
+  /// STOR2 stage-1 variant: false (default) models the paper — globals are
+  /// bound before regions are examined, essentially conflict-blind ("very
+  /// few conflicts are considered"); true gives stage 1 the global-only
+  /// view of every instruction, which removes nearly all of STOR2's
+  /// published disadvantage (see bench/stor2_stage1_ablation).
+  bool stor2_informed_stage1 = false;
+  /// Decompose conflict graphs into clique-separator atoms (§2.1).
+  bool use_atoms = true;
+  ModulePick pick = ModulePick::kLeastLoaded;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+struct AssignStats {
+  std::size_t values_used = 0;        // values occurring in >= 1 tuple
+  std::size_t single_copy = 0;        // Table 1 column "=1"
+  std::size_t multi_copy = 0;         // Table 1 column ">1"
+  std::size_t total_copies = 0;
+  std::size_t unassigned_after_coloring = 0;  // |V_unassigned| over all passes
+  std::size_t forced = 0;             // non-duplicable forced assignments
+  std::size_t residual_conflict_tuples = 0;
+  std::size_t duplication_rounds = 0;
+};
+
+struct AssignResult {
+  std::size_t module_count = 0;
+  /// Per value: the modules holding a copy (0 == value never accessed).
+  std::vector<ModuleSet> placement;
+  /// Per value: was it removed during coloring (member of V_unassigned)?
+  std::vector<bool> removed;
+  AssignStats stats;
+};
+
+/// Runs the full assignment pipeline on an access stream.
+AssignResult assign_modules(const ir::AccessStream& stream,
+                            const AssignOptions& opts);
+
+}  // namespace parmem::assign

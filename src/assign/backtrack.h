@@ -1,0 +1,45 @@
+// Backtracking duplication (Fig. 6, §2.2.1).
+//
+// Instructions are divided into sets S_1..S_k by their number of duplicable
+// operands (members of V_unassigned) and processed in that order — an
+// instruction with a single duplicable operand admits only one fix, so it
+// goes first. For each conflicting instruction, all module assignments of
+// its duplicable operands are enumerated by backtracking; existing copies
+// are preferred; the assignment creating the fewest new copies wins, with a
+// seeded random choice among ties.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "assign/placement_state.h"
+#include "support/rng.h"
+
+namespace parmem::assign {
+
+struct BacktrackOutcome {
+  std::size_t copies_added = 0;
+  /// Indices (into `insts`) of instructions that could not be resolved —
+  /// only possible when non-duplicable operands collide among themselves.
+  std::vector<std::size_t> unresolved;
+};
+
+/// Resolves one instruction: enumerates module choices for its flexible
+/// operands, applies the cheapest conflict-free assignment, and returns the
+/// number of new copies (0 if it was already conflict-free), or nullopt if
+/// no assignment of the flexible operands can avoid the conflict.
+std::optional<std::size_t> resolve_instruction(
+    PlacementState& st, const std::vector<ir::ValueId>& ops,
+    const std::vector<bool>& flexible, support::SplitMix64& rng);
+
+/// The full Fig. 6 pass over `insts`. `duplicatable` is the wider fallback
+/// mask: an instruction whose conflict cannot be resolved via V_unassigned
+/// members alone (e.g. a conflict between two values bound in an earlier
+/// STOR2/STOR3 stage) is retried with every duplicable operand flexible.
+BacktrackOutcome backtrack_duplicate(
+    PlacementState& st, const std::vector<std::vector<ir::ValueId>>& insts,
+    const std::vector<bool>& in_unassigned,
+    const std::vector<bool>& duplicatable, support::SplitMix64& rng);
+
+}  // namespace parmem::assign

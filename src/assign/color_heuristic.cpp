@@ -1,0 +1,216 @@
+#include "assign/color_heuristic.h"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+
+#include "assign/module_set.h"
+
+#include "graph/atoms.h"
+#include "support/diagnostics.h"
+
+namespace parmem::assign {
+namespace {
+
+using graph::Vertex;
+
+/// Colors one atom; `module` carries decisions across atoms (vertices with
+/// module >= 0 are fixed, vertices in `decided_unassigned` stay removed).
+void color_atom(const ConflictGraph& cg, const std::vector<Vertex>& atom,
+                const ColorOptions& opts, std::vector<std::int32_t>& module,
+                std::vector<bool>& decided, const std::vector<bool>& never_remove,
+                std::vector<std::size_t>& load, ColorResult& result) {
+  const std::size_t k = opts.module_count;
+  const graph::Graph& g = cg.graph();
+
+  std::vector<bool> in_atom(g.vertex_count(), false);
+  for (const Vertex v : atom) in_atom[v] = true;
+
+  // Atom-local degree drives the Fig. 4 weight rule: edges leaving a vertex
+  // of degree < k weigh zero.
+  std::vector<std::size_t> deg(g.vertex_count(), 0);
+  for (const Vertex v : atom) {
+    for (const Vertex w : g.neighbors(v)) {
+      if (in_atom[w]) ++deg[v];
+    }
+  }
+  const auto wt = [&](Vertex from, Vertex to) -> std::uint64_t {
+    return deg[from] < k ? 0 : cg.conf(from, to);
+  };
+
+  // Static weight sums S(v) and dynamic urgency state.
+  std::vector<std::uint64_t> s_sum(g.vertex_count(), 0);
+  std::vector<std::uint64_t> w_assigned(g.vertex_count(), 0);
+  std::vector<std::uint32_t> neighbor_mods(g.vertex_count(), 0);  // bitmask
+  for (const Vertex v : atom) {
+    for (const Vertex w : g.neighbors(v)) {
+      if (in_atom[w]) s_sum[v] += wt(v, w);
+    }
+  }
+
+  // Work list: undecided atom vertices. Initialize urgency contributions
+  // from vertices decided in earlier atoms / stages (pre-colored separators).
+  std::vector<Vertex> rest;
+  for (const Vertex v : atom) {
+    if (decided[v]) continue;
+    rest.push_back(v);
+    for (const Vertex w : g.neighbors(v)) {
+      if (module[w] >= 0) {
+        w_assigned[v] += in_atom[w] ? wt(w, v) : cg.conf(w, v);
+        neighbor_mods[v] |= 1u << static_cast<std::uint32_t>(module[w]);
+      }
+    }
+  }
+
+  const auto k_of = [&](Vertex v) -> std::uint32_t {
+    const std::uint32_t used =
+        static_cast<std::uint32_t>(std::popcount(neighbor_mods[v]));
+    return used >= k ? 0u : static_cast<std::uint32_t>(k) - used;
+  };
+
+  struct Entry {
+    std::uint64_t w;   // Σ wt(assigned → v)
+    std::uint32_t kk;  // modules still usable (0 == infinitely urgent)
+    std::uint64_t s;   // static tie-break
+    Vertex v;
+  };
+  // Max-urgency comparison: U = w/kk with kk==0 treated as +inf; ties by
+  // larger s, then smaller vertex id.
+  const auto less_urgent = [](const Entry& a, const Entry& b) {
+    const bool a_inf = a.kk == 0, b_inf = b.kk == 0;
+    if (a_inf != b_inf) return !a_inf;  // a less urgent iff b is infinite
+    if (!a_inf) {
+      const std::uint64_t lhs = a.w * b.kk;  // cross-multiplied compare
+      const std::uint64_t rhs = b.w * a.kk;
+      if (lhs != rhs) return lhs < rhs;
+    }
+    if (a.s != b.s) return a.s < b.s;
+    return a.v > b.v;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(less_urgent)> heap(
+      less_urgent);
+  for (const Vertex v : rest) heap.push({w_assigned[v], k_of(v), s_sum[v], v});
+
+  std::size_t remaining = rest.size();
+  while (remaining > 0) {
+    PARMEM_CHECK(!heap.empty(), "heap exhausted with vertices remaining");
+    const Entry e = heap.top();
+    heap.pop();
+    const Vertex v = e.v;
+    if (decided[v]) continue;                                  // stale
+    if (e.w != w_assigned[v] || e.kk != k_of(v)) continue;     // stale
+
+    decided[v] = true;
+    --remaining;
+
+    std::int32_t chosen = kUnassignedModule;
+    if (k_of(v) == 0) {
+      const bool keep = !never_remove.empty() && never_remove[v];
+      if (!keep) {
+        result.unassigned.push_back(v);
+      } else {
+        // Forced assignment: module minimizing conflict weight with already
+        // assigned neighbors (the value stays mutable, so it cannot be
+        // duplicated; the residual conflicts will serialize at run time).
+        std::vector<std::uint64_t> cost(k, 0);
+        for (const Vertex w : g.neighbors(v)) {
+          if (module[w] >= 0) cost[module[w]] += std::max<std::uint32_t>(
+              cg.conf(v, w), 1u);
+        }
+        std::uint32_t best = 0;
+        for (std::uint32_t m = 1; m < k; ++m) {
+          if (cost[m] < cost[best] ||
+              (cost[m] == cost[best] && load[m] < load[best])) {
+            best = m;
+          }
+        }
+        chosen = static_cast<std::int32_t>(best);
+        result.forced.push_back(v);
+      }
+    } else {
+      // Pick among admissible modules.
+      std::int32_t best = -1;
+      for (std::uint32_t m = 0; m < k; ++m) {
+        if (neighbor_mods[v] & (1u << m)) continue;
+        if (best < 0) {
+          best = static_cast<std::int32_t>(m);
+        } else if (opts.pick == ModulePick::kLeastLoaded &&
+                   load[m] < load[static_cast<std::uint32_t>(best)]) {
+          best = static_cast<std::int32_t>(m);
+        }
+      }
+      PARMEM_CHECK(best >= 0, "K(v) > 0 but no admissible module");
+      chosen = best;
+    }
+
+    if (chosen >= 0) {
+      module[v] = chosen;
+      ++load[static_cast<std::uint32_t>(chosen)];
+      // Update neighbors' urgency state.
+      for (const Vertex w : g.neighbors(v)) {
+        if (decided[w] || !in_atom[w]) continue;
+        w_assigned[w] += wt(v, w);
+        neighbor_mods[w] |= 1u << static_cast<std::uint32_t>(chosen);
+        heap.push({w_assigned[w], k_of(w), s_sum[w], w});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ColorResult color_conflict_graph(const ConflictGraph& cg,
+                                 const ColorOptions& opts,
+                                 const std::vector<std::int32_t>& precolored,
+                                 const std::vector<bool>& never_remove,
+                                 std::vector<std::size_t>* module_load) {
+  const std::size_t n = cg.vertex_count();
+  const std::size_t k = opts.module_count;
+  PARMEM_CHECK(k >= 1 && k <= kMaxModules, "module count out of range");
+
+  ColorResult result;
+  result.module.assign(n, kUnassignedModule);
+  std::vector<bool> decided(n, false);
+
+  std::vector<std::size_t> local_load;
+  std::vector<std::size_t>& load =
+      module_load != nullptr ? *module_load : local_load;
+  if (load.size() < k) load.assign(k, 0);
+
+  if (!precolored.empty()) {
+    PARMEM_CHECK(precolored.size() == n, "precolored size mismatch");
+    for (graph::Vertex v = 0; v < n; ++v) {
+      if (precolored[v] >= 0) {
+        PARMEM_CHECK(static_cast<std::size_t>(precolored[v]) < k,
+                     "precolored module out of range");
+        result.module[v] = precolored[v];
+        decided[v] = true;
+      }
+    }
+  }
+  if (!never_remove.empty()) {
+    PARMEM_CHECK(never_remove.size() == n, "never_remove size mismatch");
+  }
+
+  if (opts.use_atoms && n > 0) {
+    auto atoms = graph::decompose_by_clique_separators(cg.graph());
+    // Reverse generation order: each atom then meets the already-colored
+    // part exactly in its clique separator (see atoms.h).
+    for (auto it = atoms.rbegin(); it != atoms.rend(); ++it) {
+      color_atom(cg, it->vertices, opts, result.module, decided, never_remove,
+                 load, result);
+    }
+  } else if (n > 0) {
+    std::vector<graph::Vertex> all(n);
+    for (graph::Vertex v = 0; v < n; ++v) all[v] = v;
+    color_atom(cg, all, opts, result.module, decided, never_remove, load,
+               result);
+  }
+
+  for (graph::Vertex v = 0; v < n; ++v) {
+    PARMEM_CHECK(decided[v], "vertex left undecided after coloring");
+  }
+  return result;
+}
+
+}  // namespace parmem::assign

@@ -1,0 +1,67 @@
+// The paper's graph-coloring heuristic (Fig. 4), extended with the two
+// hooks the rest of the system needs:
+//
+//  * pre-colored vertices — required by the atom-by-atom composition
+//    (§2.1: color each clique-separator atom separately) and by the STOR2 /
+//    STOR3 strategies, where earlier stages fix some bindings;
+//  * never-remove vertices — mutable program variables must not be
+//    duplicated (copies would go stale), so instead of moving them to
+//    V_unassigned when no color is left, they are *forced* into the module
+//    that minimizes their conflict weight and reported separately.
+//
+// Faithful details: edge weights are wt(u→v) = 0 if deg(u) < k else
+// conf(u, v); the next vertex is the one with maximum urgency
+// U(v) = Σ_{assigned neighbors w} wt(w→v) / K(v), where K(v) is the number
+// of modules still usable for v; K(v) = 0 means infinite urgency, and such
+// a vertex is removed as soon as it is popped. Ties break on the static
+// weight sum S(v), then on vertex id — which also covers seeding: before
+// anything is colored every urgency is 0/k, so the first vertex picked is
+// argmax S, the paper's n_first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assign/conflict_graph.h"
+
+namespace parmem::assign {
+
+/// How the heuristic picks among several admissible modules
+/// ("ASSIGN(n_next) = one of the available modules", Fig. 4).
+enum class ModulePick : std::uint8_t {
+  kLeastLoaded,  // balance values across modules (default)
+  kLowestIndex,  // always the smallest admissible module index
+};
+
+struct ColorOptions {
+  std::size_t module_count = 8;
+  /// Decompose into clique-separator atoms first (§2.1). Turning this off
+  /// colors the whole graph in one sweep (the atoms-ablation bench).
+  bool use_atoms = true;
+  ModulePick pick = ModulePick::kLeastLoaded;
+};
+
+inline constexpr std::int32_t kUnassignedModule = -1;
+
+struct ColorResult {
+  /// Per conflict-graph vertex: module index, or kUnassignedModule if the
+  /// vertex was removed (V_unassigned).
+  std::vector<std::int32_t> module;
+  /// Vertices removed from the graph, in removal order (V_unassigned).
+  std::vector<graph::Vertex> unassigned;
+  /// Never-remove vertices that had to be forced into a conflicting module.
+  std::vector<graph::Vertex> forced;
+};
+
+/// Runs the heuristic.
+/// @param precolored per-vertex module or kUnassignedModule; empty == none.
+/// @param never_remove per-vertex flag; empty == all removable.
+/// @param module_load if non-null, running count of values per module shared
+///        across calls (STOR2/3 stages); updated in place.
+ColorResult color_conflict_graph(const ConflictGraph& cg,
+                                 const ColorOptions& opts,
+                                 const std::vector<std::int32_t>& precolored = {},
+                                 const std::vector<bool>& never_remove = {},
+                                 std::vector<std::size_t>* module_load = nullptr);
+
+}  // namespace parmem::assign

@@ -1,0 +1,79 @@
+#include "assign/conflict_graph.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace parmem::assign {
+
+ConflictGraph ConflictGraph::build_from_insts(
+    std::size_t value_count,
+    const std::vector<std::vector<ir::ValueId>>& insts) {
+  ConflictGraph cg;
+  cg.value_to_vertex_.assign(value_count, -1);
+
+  // First pass: discover vertices in first-occurrence order.
+  for (const auto& ops : insts) {
+    for (const ir::ValueId v : ops) {
+      PARMEM_CHECK(v < value_count, "instruction value id out of range");
+      if (cg.value_to_vertex_[v] < 0) {
+        cg.value_to_vertex_[v] =
+            static_cast<std::int64_t>(cg.vertex_to_value_.size());
+        cg.vertex_to_value_.push_back(v);
+      }
+    }
+  }
+  cg.g_ = graph::Graph(cg.vertex_to_value_.size());
+
+  // Second pass: edges and conf counts.
+  for (const auto& ops : insts) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto u = static_cast<graph::Vertex>(cg.value_to_vertex_[ops[i]]);
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        const auto v = static_cast<graph::Vertex>(cg.value_to_vertex_[ops[j]]);
+        PARMEM_CHECK(u != v, "duplicate operand in instruction");
+        cg.g_.add_edge(u, v);
+        ++cg.conf_[key(u, v)];
+      }
+    }
+  }
+  return cg;
+}
+
+ConflictGraph ConflictGraph::build(const ir::AccessStream& stream,
+                                   const StreamView& view) {
+  const auto value_included = [&](ir::ValueId v) {
+    return view.value_mask.empty() || view.value_mask[v];
+  };
+
+  std::vector<std::uint32_t> tuples = view.tuple_indices;
+  if (tuples.empty()) {
+    tuples.resize(stream.tuples.size());
+    for (std::uint32_t i = 0; i < tuples.size(); ++i) tuples[i] = i;
+  }
+
+  std::vector<std::vector<ir::ValueId>> insts;
+  insts.reserve(tuples.size());
+  for (const std::uint32_t ti : tuples) {
+    PARMEM_CHECK(ti < stream.tuples.size(), "tuple index out of range");
+    std::vector<ir::ValueId> ops;
+    for (const ir::ValueId v : stream.tuples[ti].operands) {
+      if (value_included(v)) ops.push_back(v);
+    }
+    if (!ops.empty()) insts.push_back(std::move(ops));
+  }
+  return build_from_insts(stream.value_count, insts);
+}
+
+std::uint32_t ConflictGraph::conf(graph::Vertex u, graph::Vertex v) const {
+  const auto it = conf_.find(key(u, v));
+  return it == conf_.end() ? 0u : it->second;
+}
+
+std::uint64_t ConflictGraph::conf_sum(graph::Vertex v) const {
+  std::uint64_t sum = 0;
+  for (const graph::Vertex w : g_.neighbors(v)) sum += conf(v, w);
+  return sum;
+}
+
+}  // namespace parmem::assign

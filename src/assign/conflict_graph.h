@@ -1,0 +1,72 @@
+// Access-conflict graph (§2).
+//
+// "A graph in which the nodes represent the data values and the edges
+// represent the conflicts among them is constructed." Each edge carries
+// conf(u, v): the number of instructions in which both values appear —
+// the weight the Fig. 4 coloring heuristic is driven by.
+//
+// A ConflictGraph may be built over a *view* of an access stream: a subset
+// of tuples (STOR3's instruction windows) and a subset of values (STOR2's
+// global-then-local stages). Only values that actually occur in the selected
+// tuples become vertices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ir/access.h"
+
+namespace parmem::assign {
+
+/// A view selecting part of an access stream.
+struct StreamView {
+  /// Indices into stream.tuples to consider; empty == all tuples.
+  std::vector<std::uint32_t> tuple_indices;
+  /// Per-value inclusion mask; empty == all values.
+  std::vector<bool> value_mask;
+};
+
+class ConflictGraph {
+ public:
+  /// Builds the conflict graph for the selected part of the stream.
+  static ConflictGraph build(const ir::AccessStream& stream,
+                             const StreamView& view = {});
+
+  /// Builds from explicit operand lists (already filtered); `insts[i]` is
+  /// the distinct value ids fetched by instruction i.
+  static ConflictGraph build_from_insts(
+      std::size_t value_count,
+      const std::vector<std::vector<ir::ValueId>>& insts);
+
+  const graph::Graph& graph() const { return g_; }
+  std::size_t vertex_count() const { return g_.vertex_count(); }
+
+  ir::ValueId value_of(graph::Vertex v) const { return vertex_to_value_[v]; }
+
+  /// Vertex of a value, or -1 if the value is not in this graph.
+  std::int64_t vertex_of(ir::ValueId id) const {
+    return id < value_to_vertex_.size() ? value_to_vertex_[id] : -1;
+  }
+
+  /// conf(u, v): number of selected instructions using both values.
+  std::uint32_t conf(graph::Vertex u, graph::Vertex v) const;
+
+  /// Total conflict weight at a vertex: sum of conf over incident edges.
+  std::uint64_t conf_sum(graph::Vertex v) const;
+
+ private:
+  static std::uint64_t key(graph::Vertex u, graph::Vertex v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  graph::Graph g_{0};
+  std::vector<ir::ValueId> vertex_to_value_;
+  std::vector<std::int64_t> value_to_vertex_;
+  std::unordered_map<std::uint64_t, std::uint32_t> conf_;
+};
+
+}  // namespace parmem::assign

@@ -1,0 +1,137 @@
+#include "assign/hitting_set.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/diagnostics.h"
+
+namespace parmem::assign {
+
+bool hits_all(const std::vector<std::uint32_t>& hs,
+              const std::vector<std::vector<std::uint32_t>>& sets) {
+  const std::set<std::uint32_t> in(hs.begin(), hs.end());
+  for (const auto& s : sets) {
+    bool hit = false;
+    for (const std::uint32_t e : s) {
+      if (in.count(e)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> greedy_hitting_set(
+    const std::vector<std::vector<std::uint32_t>>& sets) {
+  std::size_t max_size = 0;
+  for (const auto& s : sets) {
+    PARMEM_CHECK(!s.empty(), "hitting set input contains an empty set");
+    max_size = std::max(max_size, s.size());
+  }
+
+  std::set<std::uint32_t> hs;
+  // All elements of singleton sets are forced into the hitting set.
+  for (const auto& s : sets) {
+    if (s.size() == 1) hs.insert(s[0]);
+  }
+
+  const auto is_hit = [&](const std::vector<std::uint32_t>& s) {
+    return std::any_of(s.begin(), s.end(),
+                       [&](std::uint32_t e) { return hs.count(e) > 0; });
+  };
+
+  for (std::size_t size = 2; size <= max_size; ++size) {
+    // Occurrence counts S_{v,p} over sets not yet hit, recomputed at the
+    // start of each size round (greedy uses up-to-date counts).
+    std::map<std::uint32_t, std::vector<std::uint64_t>> occ;  // v -> count[p]
+    for (const auto& s : sets) {
+      if (is_hit(s)) continue;
+      for (const std::uint32_t e : s) {
+        auto& c = occ[e];
+        if (c.size() <= max_size) c.resize(max_size + 1, 0);
+        ++c[s.size()];
+      }
+    }
+
+    // Lexicographic comparison of (S_{v,size}, ..., S_{v,max}):
+    // returns +1 if a's vector is larger, -1 if smaller, 0 if equal.
+    const auto cmp_occ = [&](std::uint32_t a, std::uint32_t b) {
+      const auto& ca = occ[a];
+      const auto& cb = occ[b];
+      for (std::size_t p = size; p <= max_size; ++p) {
+        const std::uint64_t x = p < ca.size() ? ca[p] : 0;
+        const std::uint64_t y = p < cb.size() ? cb[p] : 0;
+        if (x != y) return x > y ? 1 : -1;
+      }
+      return 0;
+    };
+
+    for (const auto& s : sets) {
+      if (s.size() != size || is_hit(s)) continue;
+      // Pick the member with lexicographically largest occurrence vector;
+      // ties break on the smaller element id.
+      std::uint32_t best = s[0];
+      for (std::size_t i = 1; i < s.size(); ++i) {
+        const int c = cmp_occ(s[i], best);
+        if (c > 0 || (c == 0 && s[i] < best)) best = s[i];
+      }
+      hs.insert(best);
+    }
+  }
+
+  return {hs.begin(), hs.end()};
+}
+
+namespace {
+
+void exact_rec(const std::vector<std::vector<std::uint32_t>>& sets,
+               std::size_t idx, std::set<std::uint32_t>& current,
+               std::vector<std::uint32_t>& best) {
+  if (!best.empty() && current.size() >= best.size()) return;  // bound
+  // Find the first unhit set.
+  for (std::size_t i = idx; i < sets.size(); ++i) {
+    bool hit = false;
+    for (const std::uint32_t e : sets[i]) {
+      if (current.count(e)) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) continue;
+    // Branch on each member of the unhit set.
+    for (const std::uint32_t e : sets[i]) {
+      current.insert(e);
+      exact_rec(sets, i + 1, current, best);
+      current.erase(e);
+    }
+    return;
+  }
+  // Everything hit: record.
+  if (best.empty() || current.size() < best.size()) {
+    best.assign(current.begin(), current.end());
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> exact_hitting_set(
+    const std::vector<std::vector<std::uint32_t>>& sets) {
+  if (sets.empty()) return {};
+  for (const auto& s : sets) {
+    PARMEM_CHECK(!s.empty(), "hitting set input contains an empty set");
+  }
+  std::set<std::uint32_t> current;
+  std::vector<std::uint32_t> best;
+  // Seed the bound with the union (always a valid hitting set).
+  std::set<std::uint32_t> all;
+  for (const auto& s : sets) all.insert(s.begin(), s.end());
+  best.assign(all.begin(), all.end());
+  exact_rec(sets, 0, current, best);
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+}  // namespace parmem::assign

@@ -1,0 +1,31 @@
+// Greedy hitting-set heuristic (Fig. 9).
+//
+// Finding the minimum-cardinality set of values whose duplication removes
+// all residual conflicts is the minimum hitting set problem, NP-complete
+// (§2.2.2.1). The paper's greedy: start with every element of a singleton
+// set (those are forced), then walk set sizes 2..k; for each still-unhit set
+// pick the member that occurs in the most other sets, comparing occurrence
+// counts lexicographically from the current size upward. Worst case is the
+// harmonic bound H_m of greedy set cover (§2.2.2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parmem::assign {
+
+/// Computes a hitting set of `sets` (each set: distinct element ids; empty
+/// sets are rejected). Returns element ids, sorted ascending.
+std::vector<std::uint32_t> greedy_hitting_set(
+    const std::vector<std::vector<std::uint32_t>>& sets);
+
+/// True iff `hs` intersects every set.
+bool hits_all(const std::vector<std::uint32_t>& hs,
+              const std::vector<std::vector<std::uint32_t>>& sets);
+
+/// Exact minimum hitting set by branch and bound; for test oracles on small
+/// inputs (≤ ~20 distinct elements).
+std::vector<std::uint32_t> exact_hitting_set(
+    const std::vector<std::vector<std::uint32_t>>& sets);
+
+}  // namespace parmem::assign

@@ -1,0 +1,117 @@
+#include "assign/hitting_set_approach.h"
+
+#include <algorithm>
+#include <set>
+
+#include "assign/backtrack.h"
+#include "assign/hitting_set.h"
+#include "assign/placement.h"
+#include "support/diagnostics.h"
+
+namespace parmem::assign {
+namespace {
+
+/// All distinct size-`num` operand combinations occurring in instructions
+/// wide enough to contain them.
+std::vector<std::vector<ir::ValueId>> combinations_of_size(
+    const std::vector<std::vector<ir::ValueId>>& insts, std::size_t num) {
+  std::set<std::vector<ir::ValueId>> combos;
+  std::vector<ir::ValueId> current;
+  for (const auto& ops : insts) {
+    if (ops.size() < num) continue;
+    // Operands are sorted, so generated combinations are canonical.
+    current.clear();
+    const std::size_t n = ops.size();
+    // Iterative combination enumeration via index vector.
+    std::vector<std::size_t> idx(num);
+    for (std::size_t i = 0; i < num; ++i) idx[i] = i;
+    for (;;) {
+      current.clear();
+      for (const std::size_t i : idx) current.push_back(ops[i]);
+      combos.insert(current);
+      // Advance.
+      std::size_t pos = num;
+      while (pos > 0 && idx[pos - 1] == n - (num - pos) - 1) --pos;
+      if (pos == 0) break;
+      ++idx[pos - 1];
+      for (std::size_t i = pos; i < num; ++i) idx[i] = idx[i - 1] + 1;
+    }
+  }
+  return {combos.begin(), combos.end()};
+}
+
+}  // namespace
+
+HittingSetOutcome hitting_set_duplicate(
+    PlacementState& st, const std::vector<std::vector<ir::ValueId>>& insts,
+    const std::vector<bool>& in_unassigned,
+    const std::vector<bool>& duplicatable, support::SplitMix64& rng) {
+  const std::size_t k = st.module_count();
+  HittingSetOutcome out;
+
+  // Values removed during coloring that still need their initial copies.
+  std::vector<ir::ValueId> need_first;
+  std::vector<ir::ValueId> need_second;
+  {
+    std::set<ir::ValueId> seen;
+    for (const auto& ops : insts) {
+      for (const ir::ValueId v : ops) {
+        if (v >= in_unassigned.size() || !in_unassigned[v]) continue;
+        if (!seen.insert(v).second) continue;
+        if (st.copies(v) == 0) need_first.push_back(v);
+        if (st.copies(v) <= 1) need_second.push_back(v);
+      }
+    }
+  }
+
+  // Fig. 7: Place(V_unassigned) — first copies — then Place(V_unassigned)
+  // again so that every pair combination is conflict free (two copies in
+  // two distinct modules always satisfy any pair).
+  out.copies_added += place_copies(st, insts, need_first, in_unassigned, rng);
+  out.copies_added += place_copies(st, insts, need_second, in_unassigned, rng);
+
+  std::size_t max_width = 0;
+  for (const auto& ops : insts) max_width = std::max(max_width, ops.size());
+
+  for (std::size_t num = 3; num <= std::min(max_width, k); ++num) {
+    const auto combos = combinations_of_size(insts, num);
+    for (;;) {
+      // Candidate sets: for each conflicting combination, the multi-copy
+      // duplicable operands whose replication can resolve it.
+      std::vector<std::vector<std::uint32_t>> cand_sets;
+      for (const auto& combo : combos) {
+        if (st.combination_conflict_free(combo)) continue;
+        std::vector<std::uint32_t> cands;
+        for (const ir::ValueId v : combo) {
+          const bool dup = v < duplicatable.size() && duplicatable[v];
+          if (dup && st.copies(v) >= 2 && st.copies(v) < k) cands.push_back(v);
+        }
+        if (!cands.empty()) cand_sets.push_back(std::move(cands));
+      }
+      if (cand_sets.empty()) break;
+      ++out.rounds;
+
+      const auto hs = greedy_hitting_set(cand_sets);
+      std::vector<ir::ValueId> to_place(hs.begin(), hs.end());
+      const std::size_t added =
+          place_copies(st, insts, to_place, in_unassigned, rng);
+      out.copies_added += added;
+      if (added == 0) break;  // saturated: fall through to the fix-up
+    }
+  }
+
+  // Guarantee the invariant: any instruction still conflicting gets the
+  // per-instruction backtracking treatment over its duplicable operands.
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    if (st.combination_conflict_free(insts[i])) continue;
+    const auto added = resolve_instruction(st, insts[i], duplicatable, rng);
+    if (added.has_value()) {
+      out.copies_added += *added;
+    } else {
+      out.unresolved.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace parmem::assign

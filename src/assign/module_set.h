@@ -1,0 +1,44 @@
+// Sets of memory modules as bit masks.
+//
+// The paper's machines have up to 8 memory controllers; we support up to 32
+// modules, which comfortably covers every experiment.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace parmem::assign {
+
+/// Bit m set == a copy of the value lives in module m.
+using ModuleSet = std::uint32_t;
+
+inline constexpr std::size_t kMaxModules = 32;
+
+inline ModuleSet module_bit(std::uint32_t m) {
+  PARMEM_CHECK(m < kMaxModules, "module index out of range");
+  return ModuleSet{1} << m;
+}
+
+inline bool holds(ModuleSet s, std::uint32_t m) {
+  return (s & module_bit(m)) != 0;
+}
+
+inline std::size_t copy_count(ModuleSet s) {
+  return static_cast<std::size_t>(std::popcount(s));
+}
+
+/// Modules in `s`, ascending.
+inline std::vector<std::uint32_t> modules_of(ModuleSet s) {
+  std::vector<std::uint32_t> out;
+  while (s != 0) {
+    const std::uint32_t m = static_cast<std::uint32_t>(std::countr_zero(s));
+    out.push_back(m);
+    s &= s - 1;
+  }
+  return out;
+}
+
+}  // namespace parmem::assign

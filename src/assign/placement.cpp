@@ -1,0 +1,117 @@
+#include "assign/placement.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace parmem::assign {
+
+std::size_t place_copies(PlacementState& st,
+                         const std::vector<std::vector<ir::ValueId>>& insts,
+                         const std::vector<ir::ValueId>& to_place,
+                         const std::vector<bool>& in_unassigned,
+                         support::SplitMix64& rng) {
+  const std::size_t k = st.module_count();
+
+  // Group id of an instruction: number of duplicable operands, clamped to
+  // [1, k]. Instructions with zero duplicable operands cannot be helped by
+  // placement and are ignored.
+  const auto group_of = [&](const std::vector<ir::ValueId>& ops) {
+    std::size_t dup = 0;
+    for (const ir::ValueId v : ops) {
+      if (v < in_unassigned.size() && in_unassigned[v]) ++dup;
+    }
+    return std::min(dup, k);
+  };
+
+  // Live conflict set: instruction indices currently lacking an SDR.
+  std::vector<bool> conflicting(insts.size(), false);
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    conflicting[i] = !st.combination_conflict_free(insts[i]);
+  }
+
+  // Value processing order: by conflicting-instruction counts per group,
+  // group 1 first, compared lexicographically, descending.
+  const auto value_profile = [&](ir::ValueId v) {
+    std::vector<std::size_t> profile(k + 1, 0);
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      if (!conflicting[i]) continue;
+      const auto& ops = insts[i];
+      if (std::find(ops.begin(), ops.end(), v) == ops.end()) continue;
+      const std::size_t grp = group_of(ops);
+      if (grp >= 1) ++profile[grp];
+    }
+    return profile;
+  };
+
+  std::vector<ir::ValueId> values = to_place;
+  {
+    std::vector<std::vector<std::size_t>> profiles;
+    profiles.reserve(values.size());
+    for (const ir::ValueId v : values) profiles.push_back(value_profile(v));
+    std::vector<std::size_t> idx(values.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      if (profiles[a] != profiles[b]) return profiles[a] > profiles[b];
+      return values[a] < values[b];
+    });
+    std::vector<ir::ValueId> sorted;
+    sorted.reserve(values.size());
+    for (const std::size_t i : idx) sorted.push_back(values[i]);
+    values = std::move(sorted);
+  }
+
+  std::size_t added = 0;
+  for (const ir::ValueId v : values) {
+    // Candidate modules: those not already holding v.
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t m = 0; m < k; ++m) {
+      if (!holds(st.placement(v), m)) candidates.push_back(m);
+    }
+    if (candidates.empty()) continue;  // already everywhere
+
+    // Resolved-conflict vector per candidate module, indexed by group.
+    std::vector<std::vector<std::size_t>> resolved(
+        candidates.size(), std::vector<std::size_t>(k + 1, 0));
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      if (!conflicting[i]) continue;
+      const auto& ops = insts[i];
+      if (std::find(ops.begin(), ops.end(), v) == ops.end()) continue;
+      const std::size_t grp = group_of(ops);
+      if (grp == 0) continue;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (st.conflict_free_with_extra(ops, v, candidates[c])) {
+          ++resolved[c][grp];
+        }
+      }
+    }
+
+    // Lexicographically largest vector (group 1 first); collect all ties
+    // and pick randomly among them (Fig. 10's terminal random choice).
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < candidates.size(); ++c) {
+      if (resolved[c] > resolved[best]) best = c;
+    }
+    std::vector<std::size_t> ties;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (resolved[c] == resolved[best]) ties.push_back(c);
+    }
+    const std::size_t pick =
+        ties[static_cast<std::size_t>(rng.below(ties.size()))];
+    const std::uint32_t module = candidates[pick];
+
+    PARMEM_CHECK(st.add_copy(v, module), "candidate module already held v");
+    ++added;
+
+    // Re-check instructions that mention v.
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      if (!conflicting[i]) continue;
+      const auto& ops = insts[i];
+      if (std::find(ops.begin(), ops.end(), v) == ops.end()) continue;
+      if (st.combination_conflict_free(ops)) conflicting[i] = false;
+    }
+  }
+  return added;
+}
+
+}  // namespace parmem::assign

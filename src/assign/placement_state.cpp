@@ -1,0 +1,75 @@
+#include "assign/placement_state.h"
+
+#include "support/diagnostics.h"
+
+namespace parmem::assign {
+
+PlacementState::PlacementState(const ir::AccessStream& stream,
+                               std::size_t module_count)
+    : stream_(&stream), k_(module_count) {
+  PARMEM_CHECK(k_ >= 1 && k_ <= kMaxModules, "module count out of range");
+  placement_.assign(stream.value_count, 0);
+}
+
+bool PlacementState::add_copy(ir::ValueId v, std::uint32_t m) {
+  PARMEM_CHECK(v < placement_.size(), "value id out of range");
+  PARMEM_CHECK(m < k_, "module index out of range");
+  const ModuleSet bit = module_bit(m);
+  if (placement_[v] & bit) return false;
+  placement_[v] |= bit;
+  return true;
+}
+
+namespace {
+
+bool sdr_exists(const std::vector<std::vector<std::uint32_t>>& choices,
+                std::size_t k) {
+  return parmem::support::has_distinct_representatives(choices, k);
+}
+
+}  // namespace
+
+bool PlacementState::combination_conflict_free(
+    const std::vector<ir::ValueId>& ops) const {
+  std::vector<std::vector<std::uint32_t>> choices;
+  choices.reserve(ops.size());
+  for (const ir::ValueId v : ops) {
+    if (placement_[v] == 0) return false;  // nowhere to read it from
+    choices.push_back(modules_of(placement_[v]));
+  }
+  return sdr_exists(choices, k_);
+}
+
+bool PlacementState::tuple_conflict_free(const ir::AccessTuple& t) const {
+  return combination_conflict_free(t.operands);
+}
+
+bool PlacementState::conflict_free_with_extra(
+    const std::vector<ir::ValueId>& ops, ir::ValueId extra_v,
+    std::uint32_t extra_m) const {
+  std::vector<std::vector<std::uint32_t>> choices;
+  choices.reserve(ops.size());
+  for (const ir::ValueId v : ops) {
+    ModuleSet s = placement_[v];
+    if (v == extra_v) s |= module_bit(extra_m);
+    if (s == 0) return false;
+    choices.push_back(modules_of(s));
+  }
+  return sdr_exists(choices, k_);
+}
+
+std::vector<std::uint32_t> PlacementState::conflicting_tuples() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < stream_->tuples.size(); ++i) {
+    if (!tuple_conflict_free(stream_->tuples[i])) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t PlacementState::total_copies() const {
+  std::size_t n = 0;
+  for (const ModuleSet s : placement_) n += copy_count(s);
+  return n;
+}
+
+}  // namespace parmem::assign

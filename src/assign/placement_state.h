@@ -1,0 +1,58 @@
+// PlacementState: the evolving value→modules map shared by the duplication
+// and placement algorithms.
+//
+// An instruction is conflict-free iff its operands admit a system of
+// distinct representatives over their copy sets — each operand can be read
+// from a module holding a copy of it, all from different modules (§2). The
+// SDR test is a tiny bipartite matching (support/matching.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assign/module_set.h"
+#include "ir/access.h"
+#include "support/matching.h"
+
+namespace parmem::assign {
+
+class PlacementState {
+ public:
+  PlacementState(const ir::AccessStream& stream, std::size_t module_count);
+
+  std::size_t module_count() const { return k_; }
+  const ir::AccessStream& stream() const { return *stream_; }
+
+  ModuleSet placement(ir::ValueId v) const { return placement_[v]; }
+  const std::vector<ModuleSet>& placements() const { return placement_; }
+
+  /// Adds a copy of `v` in module `m`; returns true if it was new.
+  bool add_copy(ir::ValueId v, std::uint32_t m);
+
+  std::size_t copies(ir::ValueId v) const { return copy_count(placement_[v]); }
+
+  /// True iff every operand of the tuple has at least one copy and the
+  /// tuple admits distinct representative modules.
+  bool tuple_conflict_free(const ir::AccessTuple& t) const;
+
+  /// As above for an arbitrary operand combination.
+  bool combination_conflict_free(const std::vector<ir::ValueId>& ops) const;
+
+  /// Same test with a hypothetical extra copy of `extra_v` in `extra_m`.
+  bool conflict_free_with_extra(const std::vector<ir::ValueId>& ops,
+                                ir::ValueId extra_v,
+                                std::uint32_t extra_m) const;
+
+  /// Indices of tuples currently conflicting (no SDR).
+  std::vector<std::uint32_t> conflicting_tuples() const;
+
+  /// Total number of copies across values that have at least one.
+  std::size_t total_copies() const;
+
+ private:
+  const ir::AccessStream* stream_;
+  std::size_t k_;
+  std::vector<ModuleSet> placement_;
+};
+
+}  // namespace parmem::assign

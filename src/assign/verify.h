@@ -1,0 +1,37 @@
+// Assignment verification — the library's central invariants, checkable
+// independently of how the assignment was produced.
+//
+//  I1  every instruction's operands admit distinct representative modules
+//      (no statically predictable conflict remains);
+//  I8  only single-assignment values carry multiple copies (a mutable
+//      variable with copies would go stale on update);
+//  plus basic well-formedness: every accessed value has at least one copy
+//      in a valid module.
+#pragma once
+
+#include <vector>
+
+#include "assign/assigner.h"
+#include "ir/access.h"
+
+namespace parmem::assign {
+
+struct VerifyReport {
+  /// Tuples (indices into stream.tuples) without an SDR. Non-empty only
+  /// when non-duplicable values were forced into shared modules.
+  std::vector<std::uint32_t> conflicting_tuples;
+  /// Mutable (non-duplicable) values that nevertheless have > 1 copy.
+  std::vector<ir::ValueId> illegal_duplicates;
+  /// Accessed values without any copy.
+  std::vector<ir::ValueId> missing_values;
+
+  bool ok() const {
+    return conflicting_tuples.empty() && illegal_duplicates.empty() &&
+           missing_values.empty();
+  }
+};
+
+VerifyReport verify_assignment(const ir::AccessStream& stream,
+                               const AssignResult& result);
+
+}  // namespace parmem::assign

@@ -1,0 +1,65 @@
+// Shared-cache data distribution — the paper's second application (§3).
+//
+// "In systems where the caches are associated with the shared memory [the
+// Alliant FX/8], the shared data can reside in the shared caches and can be
+// accessed in parallel by the processors at high speed. However, the
+// performance of the system can deteriorate if multiple hits occur on the
+// same cache. Information on access frequency of shared data items can be
+// used to determine a distribution of data items ... which is likely to
+// avoid multiple hits on the same cache. If the data is read-only, then the
+// techniques described in this paper can be used to create multiple copies
+// of data items which are stored in different main memory modules."
+//
+// The mapping onto the module-assignment machinery is direct:
+//   shared caches            -> memory modules
+//   read-only data items     -> data values (always duplicable)
+//   sets of items processors touch in the same cycle -> access tuples,
+//     weighted by how often the access pattern occurs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assign/assigner.h"
+
+namespace parmem::cache {
+
+/// One group of shared data items that distinct processors access
+/// simultaneously, with the number of cycles this pattern occurs (its
+/// access frequency — the paper's distribution hint).
+struct AccessGroup {
+  std::vector<std::uint32_t> items;  // data item ids
+  std::uint64_t frequency = 1;
+};
+
+struct CachePlanOptions {
+  std::size_t cache_count = 4;
+  assign::DupMethod method = assign::DupMethod::kHittingSet;
+  /// Items may only be replicated when read-only (writable shared data
+  /// would need coherence, which shared caches of this era lacked).
+  std::vector<bool> read_only;  // per item; empty == all read-only
+  std::uint64_t seed = 0xca4eULL;
+};
+
+struct CachePlan {
+  std::size_t cache_count = 0;
+  /// Per item: bit mask of caches holding it.
+  std::vector<assign::ModuleSet> item_caches;
+  std::size_t replicated_items = 0;
+  std::size_t total_placements = 0;
+  /// Frequency-weighted count of group occurrences that would suffer a
+  /// multiple hit on one cache, before (every item in cache 0 — the naive
+  /// layout) and after planning.
+  std::uint64_t multi_hit_weight_before = 0;
+  std::uint64_t multi_hit_weight_after = 0;
+};
+
+/// Plans a distribution of `item_count` shared data items over caches so
+/// that the (frequency-weighted) simultaneous access groups hit distinct
+/// caches wherever possible.
+CachePlan plan_shared_caches(std::size_t item_count,
+                             const std::vector<AccessGroup>& groups,
+                             const CachePlanOptions& options);
+
+}  // namespace parmem::cache

@@ -1,0 +1,23 @@
+#include "frontend/ast.h"
+
+#include "support/diagnostics.h"
+
+namespace parmem::frontend {
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::kInt: return "int";
+    case Type::kReal: return "real";
+    case Type::kVoid: return "void";
+  }
+  PARMEM_UNREACHABLE("bad type");
+}
+
+const Func* Program::main() const {
+  for (const Func& f : funcs) {
+    if (f.name == "main") return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace parmem::frontend

@@ -1,0 +1,229 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace parmem::frontend {
+
+const char* tok_kind_name(TokKind k) {
+  switch (k) {
+    case TokKind::kEof: return "end of input";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kIntLit: return "integer literal";
+    case TokKind::kRealLit: return "real literal";
+    case TokKind::kVar: return "'var'";
+    case TokKind::kArray: return "'array'";
+    case TokKind::kFunc: return "'func'";
+    case TokKind::kIf: return "'if'";
+    case TokKind::kElse: return "'else'";
+    case TokKind::kWhile: return "'while'";
+    case TokKind::kFor: return "'for'";
+    case TokKind::kTo: return "'to'";
+    case TokKind::kReturn: return "'return'";
+    case TokKind::kPrint: return "'print'";
+    case TokKind::kInt: return "'int'";
+    case TokKind::kReal: return "'real'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kComma: return "','";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kAndAnd: return "'&&'";
+    case TokKind::kOrOr: return "'||'";
+    case TokKind::kBang: return "'!'";
+  }
+  PARMEM_UNREACHABLE("bad token kind");
+}
+
+namespace {
+
+[[noreturn]] void lex_error(int line, int col, const std::string& msg) {
+  std::ostringstream os;
+  os << "lex error at " << line << ":" << col << ": " << msg;
+  throw support::UserError(os.str());
+}
+
+const std::map<std::string_view, TokKind>& keywords() {
+  static const std::map<std::string_view, TokKind> kw{
+      {"var", TokKind::kVar},       {"array", TokKind::kArray},
+      {"func", TokKind::kFunc},     {"if", TokKind::kIf},
+      {"else", TokKind::kElse},     {"while", TokKind::kWhile},
+      {"for", TokKind::kFor},       {"to", TokKind::kTo},
+      {"return", TokKind::kReturn}, {"print", TokKind::kPrint},
+      {"int", TokKind::kInt},       {"real", TokKind::kReal},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+
+  const auto advance = [&](std::size_t n = 1) {
+    for (std::size_t j = 0; j < n && i < src.size(); ++j, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  const auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+  const auto push = [&](TokKind k, std::string text, int l, int c) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.line = l;
+    t.col = c;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    const int l = line, cl = col;
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(
+                                    peek())) ||
+                                peek() == '_')) {
+        advance();
+      }
+      const std::string_view word = src.substr(start, i - start);
+      const auto it = keywords().find(word);
+      push(it != keywords().end() ? it->second : TokKind::kIdent,
+           std::string(word), l, cl);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      bool is_real = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_real = true;
+        advance();  // '.'
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        std::size_t save = i;
+        advance();
+        if (peek() == '+' || peek() == '-') advance();
+        if (std::isdigit(static_cast<unsigned char>(peek()))) {
+          is_real = true;
+          while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+        } else {
+          i = save;  // not an exponent; restore ('e' begins an identifier)
+        }
+      }
+      const std::string text(src.substr(start, i - start));
+      Token t;
+      t.text = text;
+      t.line = l;
+      t.col = cl;
+      if (is_real) {
+        t.kind = TokKind::kRealLit;
+        t.real_value = std::stod(text);
+      } else {
+        t.kind = TokKind::kIntLit;
+        std::int64_t v = 0;
+        const auto [p, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), v);
+        if (ec != std::errc() || p != text.data() + text.size()) {
+          lex_error(l, cl, "integer literal out of range: " + text);
+        }
+        t.int_value = v;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Operators and punctuation.
+    const auto two = [&](char second, TokKind with, TokKind without) {
+      if (peek(1) == second) {
+        push(with, std::string{c, second}, l, cl);
+        advance(2);
+      } else {
+        push(without, std::string{c}, l, cl);
+        advance();
+      }
+    };
+    switch (c) {
+      case '(': push(TokKind::kLParen, "(", l, cl); advance(); break;
+      case ')': push(TokKind::kRParen, ")", l, cl); advance(); break;
+      case '{': push(TokKind::kLBrace, "{", l, cl); advance(); break;
+      case '}': push(TokKind::kRBrace, "}", l, cl); advance(); break;
+      case '[': push(TokKind::kLBracket, "[", l, cl); advance(); break;
+      case ']': push(TokKind::kRBracket, "]", l, cl); advance(); break;
+      case ',': push(TokKind::kComma, ",", l, cl); advance(); break;
+      case ';': push(TokKind::kSemi, ";", l, cl); advance(); break;
+      case ':': push(TokKind::kColon, ":", l, cl); advance(); break;
+      case '+': push(TokKind::kPlus, "+", l, cl); advance(); break;
+      case '-': push(TokKind::kMinus, "-", l, cl); advance(); break;
+      case '*': push(TokKind::kStar, "*", l, cl); advance(); break;
+      case '/': push(TokKind::kSlash, "/", l, cl); advance(); break;
+      case '%': push(TokKind::kPercent, "%", l, cl); advance(); break;
+      case '=': two('=', TokKind::kEq, TokKind::kAssign); break;
+      case '!': two('=', TokKind::kNe, TokKind::kBang); break;
+      case '<': two('=', TokKind::kLe, TokKind::kLt); break;
+      case '>': two('=', TokKind::kGe, TokKind::kGt); break;
+      case '&':
+        if (peek(1) == '&') {
+          push(TokKind::kAndAnd, "&&", l, cl);
+          advance(2);
+        } else {
+          lex_error(l, cl, "stray '&' (did you mean '&&'?)");
+        }
+        break;
+      case '|':
+        if (peek(1) == '|') {
+          push(TokKind::kOrOr, "||", l, cl);
+          advance(2);
+        } else {
+          lex_error(l, cl, "stray '|' (did you mean '||'?)");
+        }
+        break;
+      default:
+        lex_error(l, cl, std::string("unexpected character '") + c + "'");
+    }
+  }
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.line = line;
+  eof.col = col;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace parmem::frontend

@@ -1,0 +1,16 @@
+// Hand-written lexer for MC.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace parmem::frontend {
+
+/// Tokenizes `source`; throws support::UserError with line/column info on
+/// malformed input. The result always ends with a kEof token.
+/// `#` starts a comment running to end of line.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace parmem::frontend

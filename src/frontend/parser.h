@@ -1,0 +1,14 @@
+// Recursive-descent parser for MC.
+#pragma once
+
+#include <string_view>
+
+#include "frontend/ast.h"
+
+namespace parmem::frontend {
+
+/// Parses MC source text into an AST. Throws support::UserError with a
+/// line:column message on syntax errors. Run sema() afterwards to type-check.
+Program parse(std::string_view source);
+
+}  // namespace parmem::frontend

@@ -1,0 +1,369 @@
+#include "frontend/sema.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace parmem::frontend {
+namespace {
+
+[[noreturn]] void sema_error(int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "semantic error at line " << line << ": " << msg;
+  throw support::UserError(os.str());
+}
+
+struct VarSym {
+  Type type;
+};
+struct ArraySym {
+  Type elem;
+  std::int64_t length;
+};
+
+class Checker {
+ public:
+  explicit Checker(Program& p) : prog_(p) {
+    for (const Func& f : p.funcs) {
+      if (funcs_.count(f.name)) {
+        sema_error(f.line, "duplicate function '" + f.name + "'");
+      }
+      funcs_[f.name] = &f;
+    }
+  }
+
+  void run() {
+    const Func* main = prog_.main();
+    if (main == nullptr) sema_error(1, "program has no 'main' function");
+    if (!main->params.empty()) {
+      sema_error(main->line, "'main' must take no parameters");
+    }
+    if (main->return_type != Type::kVoid) {
+      sema_error(main->line, "'main' must return void");
+    }
+    for (Func& f : prog_.funcs) check_func(f);
+    check_no_recursion();
+  }
+
+ private:
+  void check_no_recursion() {
+    // DFS over the call graph; calls_ was populated during expression
+    // checking.
+    std::set<std::string> visiting, done;
+    const auto dfs = [&](auto&& self, const std::string& f) -> void {
+      if (done.count(f)) return;
+      if (!visiting.insert(f).second) {
+        sema_error(funcs_.at(f)->line,
+                   "recursion involving '" + f +
+                       "' is not supported (calls are inlined)");
+      }
+      for (const std::string& g : calls_[f]) self(self, g);
+      visiting.erase(f);
+      done.insert(f);
+    };
+    for (const Func& f : prog_.funcs) dfs(dfs, f.name);
+  }
+
+  void check_func(Func& f) {
+    current_ = &f;
+    scopes_.clear();
+    arrays_.clear();
+    push_scope();
+    for (const Param& p : f.params) {
+      declare_var(f.line, p.name, p.type);
+    }
+    check_block(f.body);
+    pop_scope();
+  }
+
+  void push_scope() {
+    scopes_.emplace_back();
+    arrays_.emplace_back();
+  }
+  void pop_scope() {
+    scopes_.pop_back();
+    arrays_.pop_back();
+  }
+
+  void declare_var(int line, const std::string& name, Type t) {
+    if (t == Type::kVoid) sema_error(line, "variables cannot be void");
+    if (scopes_.back().count(name) || arrays_.back().count(name)) {
+      sema_error(line, "redeclaration of '" + name + "' in the same scope");
+    }
+    scopes_.back()[name] = VarSym{t};
+  }
+
+  void declare_array(int line, const std::string& name, Type t,
+                     std::int64_t length) {
+    if (length <= 0) sema_error(line, "array length must be positive");
+    if (scopes_.back().count(name) || arrays_.back().count(name)) {
+      sema_error(line, "redeclaration of '" + name + "' in the same scope");
+    }
+    arrays_.back()[name] = ArraySym{t, length};
+  }
+
+  const VarSym* lookup_var(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto f = it->find(name);
+      if (f != it->end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+  const ArraySym* lookup_array(const std::string& name) const {
+    for (auto it = arrays_.rbegin(); it != arrays_.rend(); ++it) {
+      const auto f = it->find(name);
+      if (f != it->end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+  void check_block(std::vector<StmtPtr>& stmts) {
+    for (StmtPtr& s : stmts) check_stmt(*s);
+  }
+
+  void check_stmt(Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kVarDecl: {
+        if (s.expr) {
+          const Type t = check_expr(*s.expr);
+          if (t != s.decl_type) {
+            sema_error(s.line, "initializer type " + std::string(type_name(t)) +
+                                   " does not match declared type " +
+                                   type_name(s.decl_type));
+          }
+        }
+        declare_var(s.line, s.name, s.decl_type);
+        break;
+      }
+      case Stmt::Kind::kArrayDecl:
+        declare_array(s.line, s.name, s.decl_type, s.array_length);
+        break;
+      case Stmt::Kind::kAssign: {
+        const VarSym* v = lookup_var(s.name);
+        if (v == nullptr) {
+          sema_error(s.line, "assignment to undeclared variable '" + s.name +
+                                 "'");
+        }
+        const Type t = check_expr(*s.expr);
+        if (t != v->type) {
+          sema_error(s.line, std::string("cannot assign ") + type_name(t) +
+                                 " to " + type_name(v->type) + " variable '" +
+                                 s.name + "'");
+        }
+        break;
+      }
+      case Stmt::Kind::kArrayAssign: {
+        const ArraySym* a = lookup_array(s.name);
+        if (a == nullptr) {
+          sema_error(s.line, "store to undeclared array '" + s.name + "'");
+        }
+        if (check_expr(*s.expr2) != Type::kInt) {
+          sema_error(s.line, "array index must be int");
+        }
+        const Type t = check_expr(*s.expr);
+        if (t != a->elem) {
+          sema_error(s.line, std::string("cannot store ") + type_name(t) +
+                                 " into " + type_name(a->elem) + " array '" +
+                                 s.name + "'");
+        }
+        break;
+      }
+      case Stmt::Kind::kIf: {
+        if (check_expr(*s.expr) != Type::kInt) {
+          sema_error(s.line, "if-condition must be int");
+        }
+        push_scope();
+        check_block(s.body);
+        pop_scope();
+        push_scope();
+        check_block(s.else_body);
+        pop_scope();
+        break;
+      }
+      case Stmt::Kind::kWhile: {
+        if (check_expr(*s.expr) != Type::kInt) {
+          sema_error(s.line, "while-condition must be int");
+        }
+        push_scope();
+        check_block(s.body);
+        pop_scope();
+        break;
+      }
+      case Stmt::Kind::kFor: {
+        const VarSym* v = lookup_var(s.name);
+        if (v == nullptr || v->type != Type::kInt) {
+          sema_error(s.line, "for-loop variable '" + s.name +
+                                 "' must be a declared int variable");
+        }
+        if (check_expr(*s.expr) != Type::kInt ||
+            check_expr(*s.expr2) != Type::kInt) {
+          sema_error(s.line, "for-loop bounds must be int");
+        }
+        push_scope();
+        check_block(s.body);
+        pop_scope();
+        break;
+      }
+      case Stmt::Kind::kPrint: {
+        const Type t = check_expr(*s.expr);
+        if (t == Type::kVoid) sema_error(s.line, "cannot print void");
+        break;
+      }
+      case Stmt::Kind::kReturn: {
+        const Type t = s.expr ? check_expr(*s.expr) : Type::kVoid;
+        if (t != current_->return_type) {
+          sema_error(s.line, std::string("return type mismatch: function "
+                                         "returns ") +
+                                 type_name(current_->return_type) + ", got " +
+                                 type_name(t));
+        }
+        break;
+      }
+      case Stmt::Kind::kExpr: {
+        if (s.expr->kind != Expr::Kind::kCall) {
+          sema_error(s.line, "expression statement must be a call");
+        }
+        check_expr(*s.expr);
+        break;
+      }
+      case Stmt::Kind::kBlock: {
+        push_scope();
+        check_block(s.body);
+        pop_scope();
+        break;
+      }
+    }
+  }
+
+  Type check_expr(Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+        return e.type = Type::kInt;
+      case Expr::Kind::kRealLit:
+        return e.type = Type::kReal;
+      case Expr::Kind::kVarRef: {
+        const VarSym* v = lookup_var(e.name);
+        if (v == nullptr) {
+          sema_error(e.line, "use of undeclared variable '" + e.name + "'");
+        }
+        return e.type = v->type;
+      }
+      case Expr::Kind::kArrayRef: {
+        const ArraySym* a = lookup_array(e.name);
+        if (a == nullptr) {
+          sema_error(e.line, "use of undeclared array '" + e.name + "'");
+        }
+        if (check_expr(*e.a) != Type::kInt) {
+          sema_error(e.line, "array index must be int");
+        }
+        return e.type = a->elem;
+      }
+      case Expr::Kind::kUnary: {
+        const Type t = check_expr(*e.a);
+        if (e.un_op == UnOp::kNot && t != Type::kInt) {
+          sema_error(e.line, "'!' requires an int operand");
+        }
+        if (t == Type::kVoid) sema_error(e.line, "void operand");
+        return e.type = t;
+      }
+      case Expr::Kind::kBinary: {
+        const Type ta = check_expr(*e.a);
+        const Type tb = check_expr(*e.b);
+        if (ta != tb) {
+          sema_error(e.line, std::string("operand type mismatch: ") +
+                                 type_name(ta) + " vs " + type_name(tb) +
+                                 " (convert explicitly with int()/real())");
+        }
+        switch (e.bin_op) {
+          case BinOp::kMod:
+          case BinOp::kAnd:
+          case BinOp::kOr:
+            if (ta != Type::kInt) {
+              sema_error(e.line, "operator requires int operands");
+            }
+            return e.type = Type::kInt;
+          case BinOp::kEq:
+          case BinOp::kNe:
+          case BinOp::kLt:
+          case BinOp::kLe:
+          case BinOp::kGt:
+          case BinOp::kGe:
+            return e.type = Type::kInt;
+          default:
+            return e.type = ta;
+        }
+      }
+      case Expr::Kind::kCall:
+        return e.type = check_call(e);
+    }
+    PARMEM_UNREACHABLE("bad expr kind");
+  }
+
+  Type check_call(Expr& e) {
+    const auto arg_type = [&](std::size_t i) { return check_expr(*e.args[i]); };
+    // Builtins.
+    if (e.name == "sqrt" || e.name == "sin" || e.name == "cos") {
+      if (e.args.size() != 1 || arg_type(0) != Type::kReal) {
+        sema_error(e.line, "'" + e.name + "' takes one real argument");
+      }
+      return Type::kReal;
+    }
+    if (e.name == "abs") {
+      if (e.args.size() != 1) sema_error(e.line, "'abs' takes one argument");
+      const Type t = arg_type(0);
+      if (t == Type::kVoid) sema_error(e.line, "'abs' of void");
+      return t;
+    }
+    if (e.name == "int") {
+      if (e.args.size() != 1 || arg_type(0) != Type::kReal) {
+        sema_error(e.line, "'int' converts one real argument");
+      }
+      return Type::kInt;
+    }
+    if (e.name == "real") {
+      if (e.args.size() != 1 || arg_type(0) != Type::kInt) {
+        sema_error(e.line, "'real' converts one int argument");
+      }
+      return Type::kReal;
+    }
+    // User function.
+    const auto it = funcs_.find(e.name);
+    if (it == funcs_.end()) {
+      sema_error(e.line, "call to undeclared function '" + e.name + "'");
+    }
+    const Func* callee = it->second;
+    if (e.args.size() != callee->params.size()) {
+      sema_error(e.line, "'" + e.name + "' expects " +
+                             std::to_string(callee->params.size()) +
+                             " arguments, got " +
+                             std::to_string(e.args.size()));
+    }
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      if (arg_type(i) != callee->params[i].type) {
+        sema_error(e.line, "argument " + std::to_string(i + 1) + " of '" +
+                               e.name + "' must be " +
+                               type_name(callee->params[i].type));
+      }
+    }
+    calls_[current_->name].insert(e.name);
+    return callee->return_type;
+  }
+
+  Program& prog_;
+  std::map<std::string, const Func*> funcs_;
+  std::map<std::string, std::set<std::string>> calls_;
+  const Func* current_ = nullptr;
+  std::vector<std::map<std::string, VarSym>> scopes_;
+  std::vector<std::map<std::string, ArraySym>> arrays_;
+};
+
+}  // namespace
+
+void sema(Program& program) { Checker(program).run(); }
+
+}  // namespace parmem::frontend

@@ -1,0 +1,22 @@
+// Semantic analysis for MC: name resolution, type checking, and the
+// no-recursion rule (calls are implemented by inlining in src/lower, so the
+// call graph must be acyclic — in keeping with the paper's era, where VLIW
+// compilers flattened calls into straight-line regions).
+#pragma once
+
+#include "frontend/ast.h"
+
+namespace parmem::frontend {
+
+/// Type-checks `program` in place (annotating Expr::type). Throws
+/// support::UserError with a line-tagged message on the first error.
+/// Rules:
+///  * strict typing: int and real never mix implicitly; convert with
+///    int(e) / real(e);
+///  * '%' is int-only; comparisons and logical operators yield int;
+///  * builtins: sqrt/sin/cos (real->real), abs (int->int or real->real);
+///  * 'main' must exist, take no parameters, and return void;
+///  * the call graph must be acyclic (no recursion).
+void sema(Program& program);
+
+}  // namespace parmem::frontend

@@ -1,0 +1,43 @@
+// Tokens of the MC language.
+//
+// MC ("mini compiled") is the small imperative source language this library
+// compiles for its long-instruction-word target. It stands in for the
+// unnamed source language of the paper's RLIW compiler: scalar int/real
+// variables, one-dimensional arrays, loops, conditionals and (inlined)
+// functions — enough to express all six benchmark programs of §3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parmem::frontend {
+
+enum class TokKind : std::uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kRealLit,
+  // Keywords.
+  kVar, kArray, kFunc, kIf, kElse, kWhile, kFor, kTo, kReturn, kPrint,
+  kInt, kReal,
+  // Punctuation / operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi, kColon,
+  kAssign,            // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,   // == != < <= > >=
+  kAndAnd, kOrOr, kBang,
+};
+
+const char* tok_kind_name(TokKind k);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;        // identifier spelling / literal spelling
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  int line = 1;
+  int col = 1;
+};
+
+}  // namespace parmem::frontend

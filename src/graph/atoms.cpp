@@ -1,0 +1,105 @@
+#include "graph/atoms.h"
+
+#include <algorithm>
+
+#include "graph/mcsm.h"
+#include "support/diagnostics.h"
+
+namespace parmem::graph {
+
+std::vector<Atom> decompose_by_clique_separators(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<Atom> atoms;
+  if (n == 0) return atoms;
+
+  const Triangulation tri = mcs_m(g);
+
+  // Adjacency of H = G + F, as sorted neighbor lists.
+  std::vector<std::vector<Vertex>> h_adj(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    h_adj[v].assign(nb.begin(), nb.end());
+  }
+  for (const auto& [u, v] : tri.fill) {
+    h_adj[u].insert(std::lower_bound(h_adj[u].begin(), h_adj[u].end(), v), v);
+    h_adj[v].insert(std::lower_bound(h_adj[v].begin(), h_adj[v].end(), u), u);
+  }
+
+  std::vector<std::size_t> pos(n);
+  for (std::size_t i = 0; i < n; ++i) pos[tri.order[i]] = i;
+
+  std::vector<bool> alive(n, true);
+  std::size_t alive_count = n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vertex x = tri.order[i];
+    if (!alive[x]) continue;  // already split off inside some component
+
+    // S = later neighbors of x in H that are still alive.
+    std::vector<Vertex> sep;
+    for (const Vertex w : h_adj[x]) {
+      if (pos[w] > i && alive[w]) sep.push_back(w);
+    }
+    if (sep.empty()) continue;              // x isolated in the remainder
+    if (!g.is_clique(sep)) continue;        // not a clique separator of G
+
+    // Component of x with S removed.
+    std::vector<bool> mask = alive;
+    for (const Vertex s : sep) mask[s] = false;
+    std::vector<Vertex> comp = g.component_of(x, mask);
+
+    // S must actually separate: the component plus S must not be everything
+    // still alive (otherwise this split would swallow the whole remainder).
+    if (comp.size() + sep.size() >= alive_count) continue;
+
+    // S must be a *minimal* separator between C and the rest: every
+    // separator vertex needs a neighbor on both sides. Splitting on a
+    // non-minimal clique separator would emit non-maximal atoms (e.g. a
+    // sub-clique of a maximal clique in a chordal graph).
+    std::vector<bool> in_comp(n, false);
+    for (const Vertex c : comp) in_comp[c] = true;
+    std::vector<bool> in_sep(n, false);
+    for (const Vertex s : sep) in_sep[s] = true;
+    bool minimal = true;
+    for (const Vertex s : sep) {
+      bool to_comp = false, to_rest = false;
+      for (const Vertex w : g.neighbors(s)) {
+        if (!alive[w]) continue;
+        if (in_comp[w]) to_comp = true;
+        else if (!in_sep[w]) to_rest = true;
+      }
+      if (!to_comp || !to_rest) {
+        minimal = false;
+        break;
+      }
+    }
+    if (!minimal) continue;
+
+    Atom atom;
+    atom.vertices = comp;
+    atom.vertices.insert(atom.vertices.end(), sep.begin(), sep.end());
+    std::sort(atom.vertices.begin(), atom.vertices.end());
+    atom.separator = sep;  // already sorted (h_adj is sorted)
+    atoms.push_back(std::move(atom));
+
+    for (const Vertex c : comp) {
+      alive[c] = false;
+      --alive_count;
+    }
+  }
+
+  // Whatever remains forms the final atoms — one per connected component of
+  // the remainder, each with an empty separator.
+  std::vector<bool> emitted(n, false);
+  for (Vertex v = 0; v < n; ++v) {
+    if (!alive[v] || emitted[v]) continue;
+    Atom last;
+    last.vertices = g.component_of(v, alive);
+    for (const Vertex u : last.vertices) emitted[u] = true;
+    atoms.push_back(std::move(last));
+  }
+  PARMEM_CHECK(!atoms.empty(), "decomposition must produce at least one atom");
+  return atoms;
+}
+
+}  // namespace parmem::graph

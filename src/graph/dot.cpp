@@ -1,0 +1,94 @@
+#include "graph/dot.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace parmem::graph {
+namespace {
+
+// A small qualitative palette (colorblind-safe-ish).
+const char* kPalette[] = {"#4477aa", "#ee6677", "#228833", "#ccbb44",
+                          "#66ccee", "#aa3377", "#bbbbbb", "#44aa99"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string vertex_label(const DotOptions& o, Vertex v) {
+  return o.label ? o.label(v) : "v" + std::to_string(v);
+}
+
+void emit_vertex(std::ostringstream& os, const DotOptions& o, Vertex v,
+                 const std::string& node_name) {
+  os << "  " << node_name << " [label=\"" << vertex_label(o, v) << '"';
+  if (o.coloring != nullptr && v < o.coloring->size()) {
+    const std::int32_t c = (*o.coloring)[v];
+    if (c >= 0) {
+      os << ", style=filled, fillcolor=\""
+         << kPalette[static_cast<std::size_t>(c) % kPaletteSize] << '"';
+    } else {
+      os << ", style=dashed";
+    }
+  }
+  os << "];\n";
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "graph " << options.graph_name << " {\n"
+     << "  node [shape=circle, fontsize=11];\n";
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    emit_vertex(os, options, v, "n" + std::to_string(v));
+  }
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    for (const Vertex w : g.neighbors(v)) {
+      if (w < v) continue;
+      os << "  n" << v << " -- n" << w;
+      if (options.edge_label) {
+        os << " [label=\"" << options.edge_label(v, w) << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string atoms_to_dot(const Graph& g, const std::vector<Atom>& atoms,
+                         const DotOptions& options) {
+  std::ostringstream os;
+  os << "graph " << options.graph_name << "_atoms {\n"
+     << "  node [shape=circle, fontsize=11];\n";
+  for (std::size_t a = 0; a < atoms.size(); ++a) {
+    os << "  subgraph cluster_atom" << a << " {\n"
+       << "    label=\"atom " << a << "\";\n";
+    const auto name = [&](Vertex v) {
+      return "a" + std::to_string(a) + "_n" + std::to_string(v);
+    };
+    for (const Vertex v : atoms[a].vertices) {
+      const bool is_sep =
+          std::binary_search(atoms[a].separator.begin(),
+                             atoms[a].separator.end(), v);
+      os << "  ";
+      emit_vertex(os, options, v, name(v));
+      if (is_sep) {
+        // Mark separator membership with a double border.
+        os << "    " << name(v) << " [peripheries=2];\n";
+      }
+    }
+    for (const Vertex v : atoms[a].vertices) {
+      for (const Vertex w : g.neighbors(v)) {
+        if (w < v) continue;
+        if (!std::binary_search(atoms[a].vertices.begin(),
+                                atoms[a].vertices.end(), w)) {
+          continue;
+        }
+        os << "    " << name(v) << " -- " << name(w) << ";\n";
+      }
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace parmem::graph

@@ -1,0 +1,154 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace parmem::graph {
+
+Graph::Graph(std::size_t n) : adj_(n) {}
+
+void Graph::check_vertex(Vertex v) const {
+  PARMEM_CHECK(v < adj_.size(), "vertex id out of range");
+}
+
+void Graph::add_edge(Vertex u, Vertex v) {
+  check_vertex(u);
+  check_vertex(v);
+  PARMEM_CHECK(u != v, "self-loops are not allowed");
+  auto& nu = adj_[u];
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return;  // duplicate
+  nu.insert(it, v);
+  auto& nv = adj_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++edge_count_;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v) return false;
+  // Probe the smaller adjacency list.
+  const auto& n = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const Vertex target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::binary_search(n.begin(), n.end(), target);
+}
+
+std::span<const Vertex> Graph::neighbors(Vertex v) const {
+  check_vertex(v);
+  return adj_[v];
+}
+
+bool Graph::is_clique(std::span<const Vertex> set) const {
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      if (!has_edge(set[i], set[j])) return false;
+    }
+  }
+  return true;
+}
+
+Graph Graph::induced(std::span<const Vertex> keep) const {
+  std::vector<std::int64_t> to_new(adj_.size(), -1);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    check_vertex(keep[i]);
+    PARMEM_CHECK(to_new[keep[i]] < 0, "duplicate vertex in induced() set");
+    to_new[keep[i]] = static_cast<std::int64_t>(i);
+  }
+  Graph g(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (const Vertex w : adj_[keep[i]]) {
+      const std::int64_t j = to_new[w];
+      if (j >= 0 && static_cast<std::size_t>(j) > i) {
+        g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j));
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<Vertex>> Graph::components() const {
+  std::vector<bool> alive(adj_.size(), true);
+  std::vector<bool> seen(adj_.size(), false);
+  std::vector<std::vector<Vertex>> out;
+  for (Vertex v = 0; v < adj_.size(); ++v) {
+    if (seen[v]) continue;
+    auto comp = component_of(v, alive);
+    for (const Vertex u : comp) seen[u] = true;
+    out.push_back(std::move(comp));
+  }
+  return out;
+}
+
+std::vector<Vertex> Graph::component_of(Vertex start,
+                                        const std::vector<bool>& alive) const {
+  check_vertex(start);
+  PARMEM_CHECK(alive.size() == adj_.size(),
+               "alive mask size must match vertex count");
+  PARMEM_CHECK(alive[start], "component_of start vertex must be alive");
+  std::vector<Vertex> stack{start};
+  std::vector<bool> seen(adj_.size(), false);
+  seen[start] = true;
+  std::vector<Vertex> comp;
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    comp.push_back(v);
+    for (const Vertex w : adj_[v]) {
+      if (alive[w] && !seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  std::sort(comp.begin(), comp.end());
+  return comp;
+}
+
+Graph Graph::complete(std::size_t n) {
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph Graph::cycle(std::size_t n) {
+  PARMEM_CHECK(n >= 3, "cycle needs at least 3 vertices");
+  Graph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<Vertex>((v + 1) % n));
+  }
+  return g;
+}
+
+Graph Graph::path(std::size_t n) {
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph Graph::random(std::size_t n, double p, support::SplitMix64& rng) {
+  PARMEM_CHECK(p >= 0.0 && p <= 1.0, "edge probability must be in [0,1]");
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (rng.uniform() < p) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  for (Vertex v = 0; v < adj_.size(); ++v) {
+    os << v << ':';
+    for (const Vertex w : adj_[v]) os << ' ' << w;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace parmem::graph

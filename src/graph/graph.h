@@ -1,0 +1,72 @@
+// Undirected simple graph.
+//
+// This is the substrate for the paper's access-conflict graphs (§2): nodes
+// are data values, edges join values that appear as operands of the same
+// long instruction. It is deliberately simple — dense adjacency queries on
+// graphs of at most a few thousand vertices — and keeps neighbor lists
+// sorted so algorithms get deterministic iteration order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace parmem::graph {
+
+using Vertex = std::uint32_t;
+
+class Graph {
+ public:
+  /// Creates a graph with `n` isolated vertices 0..n-1.
+  explicit Graph(std::size_t n = 0);
+
+  /// Adds an undirected edge; self-loops are rejected, duplicates ignored.
+  void add_edge(Vertex u, Vertex v);
+
+  bool has_edge(Vertex u, Vertex v) const;
+
+  /// Sorted neighbor list of `v`.
+  std::span<const Vertex> neighbors(Vertex v) const;
+
+  std::size_t degree(Vertex v) const { return adj_[v].size(); }
+  std::size_t vertex_count() const { return adj_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// True iff every pair of vertices in `set` is adjacent. The empty set and
+  /// singletons are cliques.
+  bool is_clique(std::span<const Vertex> set) const;
+
+  /// Subgraph induced by `keep` (need not be sorted). The i-th vertex of the
+  /// result corresponds to keep[i]; `keep` itself is the back-mapping.
+  Graph induced(std::span<const Vertex> keep) const;
+
+  /// Connected components as lists of vertices (each sorted ascending).
+  std::vector<std::vector<Vertex>> components() const;
+
+  /// Connected component containing `start`, restricted to vertices for
+  /// which `alive[v]` is true (alive.size() == vertex_count()). `start` must
+  /// be alive. Result is sorted ascending.
+  std::vector<Vertex> component_of(Vertex start,
+                                   const std::vector<bool>& alive) const;
+
+  // ---- Constructors for common shapes (used by tests and benches) ----
+  static Graph complete(std::size_t n);
+  static Graph cycle(std::size_t n);
+  static Graph path(std::size_t n);
+  /// Erdos-Renyi G(n, p) with a deterministic generator.
+  static Graph random(std::size_t n, double p, support::SplitMix64& rng);
+
+  /// Multi-line human-readable dump (vertex: neighbor list).
+  std::string to_string() const;
+
+ private:
+  void check_vertex(Vertex v) const;
+
+  std::vector<std::vector<Vertex>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace parmem::graph

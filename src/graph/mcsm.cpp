@@ -1,0 +1,110 @@
+#include "graph/mcsm.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "support/diagnostics.h"
+
+namespace parmem::graph {
+namespace {
+
+// Minimax reachability for one MCS-M step.
+//
+// Given the chosen vertex x, find every unnumbered y such that some path
+// x, x1, .., xk, y exists with all xi unnumbered and w(xi) < w(y). Define
+// g(y) = min over paths of the maximum intermediate weight (-1 for a direct
+// edge); then y qualifies iff g(y) < w(y). g() is computed with a Dijkstra
+// scan keyed on g.
+std::vector<Vertex> reachable_through_lower_weights(
+    const Graph& graph, Vertex x, const std::vector<bool>& numbered,
+    const std::vector<std::int64_t>& weight) {
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> best(graph.vertex_count(), kInf);
+  using Item = std::pair<std::int64_t, Vertex>;  // (g, vertex), min-heap
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+  for (const Vertex y : graph.neighbors(x)) {
+    if (numbered[y]) continue;
+    best[y] = -1;  // direct edge: no intermediates
+    heap.emplace(-1, y);
+  }
+
+  std::vector<Vertex> out;
+  while (!heap.empty()) {
+    const auto [g, v] = heap.top();
+    heap.pop();
+    if (g != best[v]) continue;  // stale entry
+    if (g < weight[v]) out.push_back(v);
+    // Extending any path through v makes v an intermediate.
+    const std::int64_t via = std::max(g, weight[v]);
+    for (const Vertex w : graph.neighbors(v)) {
+      if (numbered[w] || w == x) continue;
+      if (via < best[w]) {
+        best[w] = via;
+        heap.emplace(via, w);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Triangulation mcs_m(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  Triangulation result;
+  result.order.assign(n, 0);
+  std::vector<std::int64_t> weight(n, 0);
+  std::vector<bool> numbered(n, false);
+
+  for (std::size_t step = n; step > 0; --step) {
+    // Pick the unnumbered vertex with maximum weight (lowest id on ties,
+    // for determinism).
+    Vertex x = 0;
+    std::int64_t best = -1;
+    for (Vertex v = 0; v < n; ++v) {
+      if (!numbered[v] && weight[v] > best) {
+        best = weight[v];
+        x = v;
+      }
+    }
+    PARMEM_CHECK(best >= 0, "no unnumbered vertex left");
+
+    const auto reached = reachable_through_lower_weights(g, x, numbered, weight);
+    for (const Vertex y : reached) {
+      weight[y] += 1;
+      if (!g.has_edge(x, y)) {
+        result.fill.emplace_back(std::min(x, y), std::max(x, y));
+      }
+    }
+    numbered[x] = true;
+    result.order[step - 1] = x;  // numbered `step`; eliminated at index step-1
+  }
+
+  std::sort(result.fill.begin(), result.fill.end());
+  result.fill.erase(std::unique(result.fill.begin(), result.fill.end()),
+                    result.fill.end());
+  return result;
+}
+
+bool is_perfect_elimination_ordering(const Graph& g,
+                                     const std::vector<Vertex>& order) {
+  PARMEM_CHECK(order.size() == g.vertex_count(),
+               "ordering must cover all vertices");
+  std::vector<std::size_t> pos(g.vertex_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Vertex v = order[i];
+    // Later neighbors of v must form a clique.
+    std::vector<Vertex> later;
+    for (const Vertex w : g.neighbors(v)) {
+      if (pos[w] > i) later.push_back(w);
+    }
+    if (!g.is_clique(later)) return false;
+  }
+  return true;
+}
+
+}  // namespace parmem::graph

@@ -1,0 +1,87 @@
+#include "ir/access.h"
+
+#include <algorithm>
+
+#include "ir/liveness.h"
+#include "support/diagnostics.h"
+
+namespace parmem::ir {
+
+AccessStream AccessStream::from_tuples(
+    std::size_t value_count, std::vector<std::vector<ValueId>> tuples) {
+  AccessStream s;
+  s.value_count = value_count;
+  s.duplicatable.assign(value_count, true);
+  s.global.assign(value_count, false);
+  for (auto& t : tuples) {
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    for (const ValueId v : t) {
+      PARMEM_CHECK(v < value_count, "tuple value id out of range");
+    }
+    if (t.empty()) continue;
+    AccessTuple at;
+    at.operands = std::move(t);
+    s.tuples.push_back(std::move(at));
+  }
+  return s;
+}
+
+AccessStream AccessStream::from_liw(const LiwProgram& prog,
+                                    bool include_writes,
+                                    bool duplicate_mutables) {
+  AccessStream s;
+  s.value_count = prog.values.size();
+  s.duplicatable.assign(s.value_count, false);
+  s.global.assign(s.value_count, false);
+  for (ValueId v = 0; v < s.value_count; ++v) {
+    s.duplicatable[v] =
+        duplicate_mutables || prog.values.info(v).single_assignment;
+  }
+
+  for (const LiwWord& word : prog.words) {
+    std::vector<ValueId> ops;
+    for (const TacInstr& op : word.ops) {
+      if (op.op == Opcode::kXfer) continue;  // transfers handled separately
+      for (const ValueId u : op.value_uses()) ops.push_back(u);
+      if (include_writes && has_dst(op.op)) ops.push_back(op.dst);
+    }
+    std::sort(ops.begin(), ops.end());
+    ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+    if (ops.empty()) continue;
+    AccessTuple t;
+    t.operands = std::move(ops);
+    t.region = word.region;
+    s.tuples.push_back(std::move(t));
+  }
+
+  // Globality: a value used in a region other than the one containing its
+  // definition is live across regions. We approximate by def/use region
+  // spread, which matches the liveness notion for single-def values and is
+  // conservative for mutable variables.
+  std::vector<RegionId> def_region(s.value_count, kNoRegion);
+  std::vector<bool> multi_region(s.value_count, false);
+  for (const LiwWord& word : prog.words) {
+    for (const TacInstr& op : word.ops) {
+      const auto touch = [&](ValueId v) {
+        if (def_region[v] == kNoRegion) {
+          def_region[v] = word.region;
+        } else if (def_region[v] != word.region) {
+          multi_region[v] = true;
+        }
+      };
+      for (const ValueId u : op.value_uses()) touch(u);
+      if (has_dst(op.op)) touch(op.dst);
+    }
+  }
+  s.global = multi_region;
+  return s;
+}
+
+std::size_t AccessStream::max_width() const {
+  std::size_t w = 0;
+  for (const AccessTuple& t : tuples) w = std::max(w, t.operands.size());
+  return w;
+}
+
+}  // namespace parmem::ir

@@ -1,0 +1,55 @@
+// Access streams: the abstraction the module-assignment algorithms consume.
+//
+// §2 of the paper denotes instructions "by the operands they use, as the
+// operations are of no importance here". An AccessStream is exactly that: a
+// sequence of tuples of data-value ids fetched simultaneously, plus the
+// per-value metadata assignment needs (region for STOR2, duplicatability,
+// globality). Streams are built either from a scheduled LIW program or by
+// hand (tests reproduce the paper's worked examples this way).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/liw.h"
+#include "ir/value.h"
+
+namespace parmem::ir {
+
+/// The compile-time-predictable scalar fetches of one long instruction.
+struct AccessTuple {
+  std::vector<ValueId> operands;  // distinct value ids, sorted ascending
+  RegionId region = 0;
+};
+
+struct AccessStream {
+  std::vector<AccessTuple> tuples;
+  std::size_t value_count = 0;
+  /// Per value: may it be replicated across modules (single-assignment)?
+  std::vector<bool> duplicatable;
+  /// Per value: is it live across regions ("global", for STOR2)?
+  std::vector<bool> global;
+
+  /// Hand-built stream: all values duplicatable, everything in region 0.
+  /// Tuples are deduplicated per entry (repeated ids collapse).
+  static AccessStream from_tuples(std::size_t value_count,
+                                  std::vector<std::vector<ValueId>> tuples);
+
+  /// Extracts the stream from a scheduled program: for each word, the
+  /// distinct scalar values read (and, if include_writes, written).
+  /// Words without scalar accesses yield no tuple.
+  ///
+  /// `duplicate_mutables` selects the value model: when true (the paper's
+  /// §2 model — "no data value is ever updated" — realized here by
+  /// scheduling a refresh transfer after every definition), every scalar is
+  /// duplicable; when false, only single-assignment values are, and
+  /// conflicts among mutable values may remain unresolvable.
+  static AccessStream from_liw(const LiwProgram& prog,
+                               bool include_writes = false,
+                               bool duplicate_mutables = true);
+
+  /// Max tuple width (the paper's "up to k operands").
+  std::size_t max_width() const;
+};
+
+}  // namespace parmem::ir

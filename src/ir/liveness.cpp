@@ -1,0 +1,60 @@
+#include "ir/liveness.h"
+
+#include "support/diagnostics.h"
+
+namespace parmem::ir {
+
+Liveness Liveness::compute(const TacProgram& prog, const RegionGraph& rg) {
+  const std::size_t nv = prog.values.size();
+  const std::size_t nr = rg.regions.size();
+  Liveness lv;
+  lv.live_in.assign(nr, std::vector<bool>(nv, false));
+  lv.live_out.assign(nr, std::vector<bool>(nv, false));
+  lv.global.assign(nv, false);
+
+  // Per-region use (upward-exposed) and def sets.
+  std::vector<std::vector<bool>> use(nr, std::vector<bool>(nv, false));
+  std::vector<std::vector<bool>> def(nr, std::vector<bool>(nv, false));
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::uint32_t i = rg.regions[r].first; i < rg.regions[r].last; ++i) {
+      const TacInstr& in = prog.instrs[i];
+      for (const ValueId u : in.value_uses()) {
+        if (!def[r][u]) use[r][u] = true;
+      }
+      if (has_dst(in.op)) def[r][in.dst] = true;
+    }
+  }
+
+  // Iterate to fixpoint (graphs are tiny; round-robin is fine).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t r = nr; r > 0; --r) {
+      const std::size_t b = r - 1;
+      std::vector<bool> out(nv, false);
+      for (const RegionId s : rg.regions[b].successors) {
+        for (std::size_t v = 0; v < nv; ++v) {
+          if (lv.live_in[s][v]) out[v] = true;
+        }
+      }
+      std::vector<bool> in = use[b];
+      for (std::size_t v = 0; v < nv; ++v) {
+        if (out[v] && !def[b][v]) in[v] = true;
+      }
+      if (out != lv.live_out[b] || in != lv.live_in[b]) {
+        lv.live_out[b] = std::move(out);
+        lv.live_in[b] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::size_t v = 0; v < nv; ++v) {
+      if (lv.live_in[r][v]) lv.global[v] = true;
+    }
+  }
+  return lv;
+}
+
+}  // namespace parmem::ir

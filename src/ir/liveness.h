@@ -1,0 +1,27 @@
+// Classical backward live-value analysis over the region graph.
+//
+// Drives two things: (1) the STOR2 strategy's split into values "live across
+// regions" (globals) versus region-local values (§3), and (2) the renaming
+// pass, which may only split definitions whose live ranges stay inside a
+// region.
+#pragma once
+
+#include <vector>
+
+#include "ir/region.h"
+#include "ir/tac.h"
+
+namespace parmem::ir {
+
+struct Liveness {
+  /// live_in[r][v] / live_out[r][v] for region r, value v.
+  std::vector<std::vector<bool>> live_in;
+  std::vector<std::vector<bool>> live_out;
+  /// True iff the value's live range crosses a region boundary, i.e. it is
+  /// live-in at some region. These are the paper's "global" values.
+  std::vector<bool> global;
+
+  static Liveness compute(const TacProgram& prog, const RegionGraph& rg);
+};
+
+}  // namespace parmem::ir

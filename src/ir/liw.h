@@ -1,0 +1,39 @@
+// Long instruction words.
+//
+// A long instruction word (LIW) packs up to `fu_count` operations that the
+// machine's functional units execute in lock-step. All operand reads of a
+// word see the pre-word state; all writes commit together afterwards; at
+// most one control-transfer op per word, taking effect after the word.
+// Branch targets in the packed ops refer to *word* indices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/region.h"
+#include "ir/tac.h"
+
+namespace parmem::ir {
+
+struct LiwWord {
+  std::vector<TacInstr> ops;
+  RegionId region = 0;
+};
+
+/// A scheduled program: words plus the value/array tables they refer to.
+struct LiwProgram {
+  std::string name;
+  std::vector<LiwWord> words;
+  ValueTable values;
+  ArrayTable arrays;
+
+  std::string to_string() const;
+};
+
+/// Structural validity: op count per word, single terminator (last slot),
+/// no two ops defining the same value in one word, branch targets in range.
+/// Throws InternalError with a description on violation.
+void validate_liw(const LiwProgram& prog, std::size_t fu_count);
+
+}  // namespace parmem::ir

@@ -1,0 +1,76 @@
+#include "ir/region.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace parmem::ir {
+
+RegionGraph RegionGraph::build(const TacProgram& prog) {
+  const std::size_t n = prog.instrs.size();
+  RegionGraph rg;
+  if (n == 0) return rg;
+
+  // Leaders: instruction 0, every branch target, every instruction after a
+  // terminator.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TacInstr& in = prog.instrs[i];
+    if (is_terminator(in.op)) {
+      if (in.op != Opcode::kHalt) {
+        PARMEM_CHECK(in.target < n, "branch target out of range");
+        leader[in.target] = true;
+      }
+      if (i + 1 < n) leader[i + 1] = true;
+    }
+  }
+
+  rg.region_of.assign(n, kNoRegion);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (leader[i]) {
+      Region r;
+      r.id = static_cast<RegionId>(rg.regions.size());
+      r.first = static_cast<std::uint32_t>(i);
+      rg.regions.push_back(r);
+    }
+    rg.region_of[i] = rg.regions.back().id;
+  }
+  for (std::size_t b = 0; b < rg.regions.size(); ++b) {
+    rg.regions[b].last = (b + 1 < rg.regions.size())
+                             ? rg.regions[b + 1].first
+                             : static_cast<std::uint32_t>(n);
+  }
+
+  // Successor edges.
+  for (Region& r : rg.regions) {
+    PARMEM_CHECK(r.last > r.first, "empty region");
+    const TacInstr& tail = prog.instrs[r.last - 1];
+    const auto add_succ = [&](std::uint32_t instr_idx) {
+      const RegionId s = rg.region_of[instr_idx];
+      if (std::find(r.successors.begin(), r.successors.end(), s) ==
+          r.successors.end()) {
+        r.successors.push_back(s);
+      }
+    };
+    switch (tail.op) {
+      case Opcode::kHalt:
+        break;
+      case Opcode::kBr:
+        add_succ(tail.target);
+        break;
+      case Opcode::kBrTrue:
+      case Opcode::kBrFalse:
+        add_succ(tail.target);
+        if (r.last < n) add_succ(r.last);
+        break;
+      default:
+        // Fallthrough block.
+        if (r.last < n) add_succ(r.last);
+        break;
+    }
+  }
+  return rg;
+}
+
+}  // namespace parmem::ir

@@ -1,0 +1,35 @@
+// Region (basic-block) partition of a TAC program.
+//
+// The paper performs storage allocation per *program region* (citing the
+// PDG work of Ferrante et al.) and classifies values as global (live across
+// regions) or local. We instantiate regions as maximal basic blocks: the
+// conservative partition every other region notion refines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/tac.h"
+
+namespace parmem::ir {
+
+using RegionId = std::uint32_t;
+inline constexpr RegionId kNoRegion = 0xffffffff;
+
+struct Region {
+  RegionId id = 0;
+  std::uint32_t first = 0;  // index of first instruction
+  std::uint32_t last = 0;   // index one past the last instruction
+  std::vector<RegionId> successors;
+};
+
+/// Basic-block partition of `prog` with the control-flow graph over blocks.
+struct RegionGraph {
+  std::vector<Region> regions;
+  /// Region of each instruction.
+  std::vector<RegionId> region_of;
+
+  static RegionGraph build(const TacProgram& prog);
+};
+
+}  // namespace parmem::ir

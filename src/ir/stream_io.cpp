@@ -1,0 +1,133 @@
+#include "ir/stream_io.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.h"
+#include "support/text.h"
+
+namespace parmem::ir {
+namespace {
+
+[[noreturn]] void io_error(std::size_t line, const std::string& msg) {
+  throw support::UserError("stream parse error at line " +
+                           std::to_string(line) + ": " + msg);
+}
+
+std::uint64_t parse_number(std::string_view tok, std::size_t line) {
+  std::uint64_t v = 0;
+  if (tok.empty()) io_error(line, "expected a number");
+  for (const char ch : tok) {
+    if (ch < '0' || ch > '9') {
+      io_error(line, "malformed number '" + std::string(tok) + "'");
+    }
+    v = v * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+AccessStream parse_stream(std::string_view text) {
+  AccessStream s;
+  bool header_seen = false;
+  std::size_t line_no = 0;
+
+  for (const std::string& raw : support::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = support::trim(raw);
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = support::trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+
+    std::vector<std::string> toks;
+    for (const std::string& t : support::split(line, ' ')) {
+      if (!support::trim(t).empty()) toks.emplace_back(support::trim(t));
+    }
+    const std::string& kind = toks[0];
+
+    if (kind == "stream") {
+      if (header_seen) io_error(line_no, "duplicate 'stream' header");
+      if (toks.size() != 2) io_error(line_no, "usage: stream <value_count>");
+      header_seen = true;
+      s.value_count = static_cast<std::size_t>(parse_number(toks[1], line_no));
+      s.duplicatable.assign(s.value_count, true);
+      s.global.assign(s.value_count, false);
+      continue;
+    }
+    if (!header_seen) io_error(line_no, "'stream <n>' header must come first");
+
+    const auto check_id = [&](std::uint64_t id) {
+      if (id >= s.value_count) {
+        io_error(line_no, "value id " + std::to_string(id) +
+                              " out of range (value_count = " +
+                              std::to_string(s.value_count) + ")");
+      }
+      return static_cast<ValueId>(id);
+    };
+
+    if (kind == "mutable" || kind == "global") {
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        const ValueId v = check_id(parse_number(toks[i], line_no));
+        if (kind == "mutable") {
+          s.duplicatable[v] = false;
+        } else {
+          s.global[v] = true;
+        }
+      }
+      continue;
+    }
+    if (kind == "tuple") {
+      AccessTuple t;
+      std::size_t start = 1;
+      if (toks.size() > 1 && toks[1].size() > 1 && toks[1][0] == '@') {
+        t.region = static_cast<RegionId>(
+            parse_number(std::string_view(toks[1]).substr(1), line_no));
+        start = 2;
+      }
+      for (std::size_t i = start; i < toks.size(); ++i) {
+        t.operands.push_back(check_id(parse_number(toks[i], line_no)));
+      }
+      if (t.operands.empty()) io_error(line_no, "empty tuple");
+      std::sort(t.operands.begin(), t.operands.end());
+      t.operands.erase(std::unique(t.operands.begin(), t.operands.end()),
+                       t.operands.end());
+      s.tuples.push_back(std::move(t));
+      continue;
+    }
+    io_error(line_no, "unknown directive '" + kind + "'");
+  }
+  if (!header_seen) io_error(1, "missing 'stream <n>' header");
+  return s;
+}
+
+std::string format_stream(const AccessStream& stream) {
+  std::ostringstream os;
+  os << "stream " << stream.value_count << '\n';
+  const auto emit_flag_line = [&](const char* name,
+                                  const std::vector<bool>& flags,
+                                  bool when) {
+    bool any = false;
+    for (std::size_t v = 0; v < flags.size(); ++v) {
+      if (flags[v] == when) {
+        if (!any) os << name;
+        any = true;
+        os << ' ' << v;
+      }
+    }
+    if (any) os << '\n';
+  };
+  emit_flag_line("mutable", stream.duplicatable, false);
+  emit_flag_line("global", stream.global, true);
+  for (const AccessTuple& t : stream.tuples) {
+    os << "tuple";
+    if (t.region != 0) os << " @" << t.region;
+    for (const ValueId v : t.operands) os << ' ' << v;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace parmem::ir

@@ -1,0 +1,37 @@
+// Text serialization for access streams.
+//
+// The module-assignment algorithms need nothing but an AccessStream, so a
+// plain-text interchange format makes the allocator usable without the MC
+// front end — dump the simultaneous-fetch sets of any compiler and feed
+// them to examples/assign_stream.
+//
+// Format (line-oriented, '#' comments):
+//
+//   stream <value_count>
+//   mutable <id> <id> ...        # optional: non-duplicable values
+//   global <id> <id> ...         # optional: values live across regions
+//   tuple [@<region>] <id> <id> ...
+//
+// Example — the paper's Fig. 1:
+//
+//   stream 5
+//   tuple 0 1 3
+//   tuple 1 2 4
+//   tuple 1 2 3
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/access.h"
+
+namespace parmem::ir {
+
+/// Parses the format above. Throws support::UserError with a line-numbered
+/// message on malformed input.
+AccessStream parse_stream(std::string_view text);
+
+/// Serializes a stream; parse_stream(format_stream(s)) reproduces s.
+std::string format_stream(const AccessStream& stream);
+
+}  // namespace parmem::ir

@@ -1,0 +1,3 @@
+#include "ir/value.h"
+
+// Header-only for now; this TU anchors the library target.

@@ -1,0 +1,108 @@
+// Data values and arrays.
+//
+// §2 of the paper: memory-module assignment operates on *data values*, not
+// program variables — "Corresponding to each definition of a variable, a
+// distinct data value is created and ... the different data values of a
+// variable are treated independently. Thus no data value is ever updated."
+// In this library a value carries a `single_assignment` flag: compiler
+// temporaries and renamed definitions are single-assignment and may be
+// freely duplicated across modules; an un-renamed program variable is
+// mutable and must keep exactly one copy (duplicating it would raise the
+// consistency problem the paper explicitly avoids).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace parmem::ir {
+
+using ValueId = std::uint32_t;
+inline constexpr ValueId kInvalidValue = 0xffffffff;
+
+using ArrayId = std::uint32_t;
+
+/// Scalar element type. Booleans are represented as kInt 0/1.
+enum class ScalarType : std::uint8_t { kInt, kReal };
+
+/// Where a value came from.
+enum class ValueKind : std::uint8_t {
+  kVariable,   // a user-declared scalar variable (mutable carrier)
+  kTemporary,  // compiler temporary (always single-assignment)
+  kRenamed,    // a renamed definition of a variable (single-assignment)
+};
+
+struct ValueInfo {
+  std::string name;
+  ScalarType type = ScalarType::kInt;
+  ValueKind kind = ValueKind::kTemporary;
+  /// True iff the value is written at most once on any execution path and
+  /// may therefore be replicated across memory modules without a
+  /// consistency problem.
+  bool single_assignment = true;
+};
+
+/// Registry of all scalar data values of a compilation unit.
+class ValueTable {
+ public:
+  ValueId add(ValueInfo info) {
+    values_.push_back(std::move(info));
+    return static_cast<ValueId>(values_.size() - 1);
+  }
+
+  const ValueInfo& info(ValueId v) const {
+    PARMEM_CHECK(v < values_.size(), "value id out of range");
+    return values_[v];
+  }
+
+  ValueInfo& info(ValueId v) {
+    PARMEM_CHECK(v < values_.size(), "value id out of range");
+    return values_[v];
+  }
+
+  std::size_t size() const { return values_.size(); }
+
+  /// Convenience: fresh temporary of the given type.
+  ValueId make_temp(ScalarType type, const std::string& hint = "t") {
+    ValueInfo vi;
+    vi.name = hint + "." + std::to_string(values_.size());
+    vi.type = type;
+    vi.kind = ValueKind::kTemporary;
+    vi.single_assignment = true;
+    return add(std::move(vi));
+  }
+
+ private:
+  std::vector<ValueInfo> values_;
+};
+
+struct ArrayInfo {
+  std::string name;
+  ScalarType type = ScalarType::kInt;
+  std::size_t length = 0;
+};
+
+/// Registry of arrays. Array *elements* are not data values: their bank is
+/// only known at run time (§3, Table 2), which is exactly the unpredictable
+/// conflict source the paper measures separately.
+class ArrayTable {
+ public:
+  ArrayId add(ArrayInfo info) {
+    arrays_.push_back(std::move(info));
+    return static_cast<ArrayId>(arrays_.size() - 1);
+  }
+
+  const ArrayInfo& info(ArrayId a) const {
+    PARMEM_CHECK(a < arrays_.size(), "array id out of range");
+    return arrays_[a];
+  }
+
+  std::size_t size() const { return arrays_.size(); }
+
+ private:
+  std::vector<ArrayInfo> arrays_;
+};
+
+}  // namespace parmem::ir

@@ -1,0 +1,277 @@
+#include "lower/ifconvert.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ir/region.h"
+#include "support/diagnostics.h"
+
+namespace parmem::lower {
+namespace {
+
+using ir::Opcode;
+using ir::Operand;
+using ir::TacInstr;
+using ir::ValueId;
+
+/// May this operation be executed speculatively?
+bool speculation_safe(const TacInstr& in) {
+  switch (in.op) {
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kNeg:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLe:
+    case Opcode::kCmpGt:
+    case Opcode::kCmpGe:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kNot:
+    case Opcode::kToReal:
+    case Opcode::kToInt:
+    case Opcode::kSin:
+    case Opcode::kCos:
+    case Opcode::kAbs:
+    case Opcode::kSelect:
+      return true;
+    default:
+      // kDiv/kMod/kSqrt trap; kLoad can trap on a speculative index;
+      // kStore/kPrint/kXfer have effects; terminators end the block.
+      return false;
+  }
+}
+
+/// One convertible pattern found in the instruction list.
+struct Pattern {
+  std::uint32_t branch = 0;      // index of the kBrFalse/kBrTrue
+  std::uint32_t then_first = 0;  // [then_first, then_last)
+  std::uint32_t then_last = 0;
+  std::uint32_t else_first = 0;  // [else_first, else_last); empty if triangle
+  std::uint32_t else_last = 0;
+  std::uint32_t join = 0;        // first instruction after the pattern
+  bool inverted = false;         // true for kBrTrue (then/else swap roles)
+};
+
+/// Checks [first, last) for speculation safety and size.
+bool body_convertible(const ir::TacProgram& prog, std::uint32_t first,
+                      std::uint32_t last, std::size_t max_ops) {
+  if (last - first > max_ops) return false;
+  for (std::uint32_t i = first; i < last; ++i) {
+    if (!speculation_safe(prog.instrs[i])) return false;
+  }
+  return true;
+}
+
+/// True if any branch outside [lo, hi) targets the open interval (lo, hi).
+bool has_external_entry(const ir::TacProgram& prog, std::uint32_t lo,
+                        std::uint32_t hi) {
+  for (std::uint32_t i = 0; i < prog.instrs.size(); ++i) {
+    const TacInstr& in = prog.instrs[i];
+    if (!ir::is_terminator(in.op) || in.op == Opcode::kHalt) continue;
+    if (i >= lo && i < hi) continue;  // internal branch
+    if (in.target > lo && in.target < hi) return true;
+  }
+  return false;
+}
+
+std::optional<Pattern> find_pattern(const ir::TacProgram& prog,
+                                    const IfConvertOptions& opts) {
+  for (std::uint32_t i = 0; i < prog.instrs.size(); ++i) {
+    const TacInstr& br = prog.instrs[i];
+    if (br.op != Opcode::kBrFalse && br.op != Opcode::kBrTrue) continue;
+    const std::uint32_t target = br.target;
+    if (target <= i + 1) continue;  // backward or degenerate
+
+    Pattern p;
+    p.branch = i;
+    p.inverted = br.op == Opcode::kBrTrue;
+    p.then_first = i + 1;
+
+    // Triangle: [i+1, target) is pure straight-line code with no
+    // terminator, and nothing else jumps into it.
+    bool straight = true;
+    for (std::uint32_t j = p.then_first; j < target && straight; ++j) {
+      if (ir::is_terminator(prog.instrs[j].op)) straight = false;
+    }
+    if (straight) {
+      if (body_convertible(prog, p.then_first, target, opts.max_ops) &&
+          !has_external_entry(prog, p.branch, target)) {
+        p.then_last = target;
+        p.else_first = p.else_last = target;
+        p.join = target;
+        return p;
+      }
+      continue;
+    }
+
+    // Diamond: then-body ends with `br -> J`, else-body [target, J) is pure
+    // straight-line, J is the join.
+    std::uint32_t then_end = p.then_first;
+    while (then_end < target &&
+           !ir::is_terminator(prog.instrs[then_end].op)) {
+      ++then_end;
+    }
+    if (then_end + 1 != target) continue;  // terminator not just before else
+    const TacInstr& jump = prog.instrs[then_end];
+    if (jump.op != Opcode::kBr) continue;
+    const std::uint32_t join = jump.target;
+    if (join <= target) continue;
+    bool else_straight = true;
+    for (std::uint32_t j = target; j < join; ++j) {
+      if (ir::is_terminator(prog.instrs[j].op)) else_straight = false;
+    }
+    if (!else_straight) continue;
+    if (!body_convertible(prog, p.then_first, then_end, opts.max_ops) ||
+        !body_convertible(prog, target, join, opts.max_ops)) {
+      continue;
+    }
+    if (has_external_entry(prog, p.branch, join)) continue;
+    p.then_last = then_end;
+    p.else_first = target;
+    p.else_last = join;
+    p.join = join;
+    return p;
+  }
+  return std::nullopt;
+}
+
+/// Clones a body with every definition redirected into a fresh temp; uses
+/// after an interior def read the temp. Returns the final temp per value.
+std::map<ValueId, ValueId> speculate_body(
+    const ir::TacProgram& prog, std::uint32_t first, std::uint32_t last,
+    ir::ValueTable& values, std::vector<TacInstr>& out) {
+  std::map<ValueId, ValueId> current;
+  for (std::uint32_t i = first; i < last; ++i) {
+    TacInstr in = prog.instrs[i];
+    const auto rewire = [&](Operand& o) {
+      if (!o.is_value()) return;
+      const auto it = current.find(o.value);
+      if (it != current.end()) o.value = it->second;
+    };
+    const int arity = ir::operand_arity(in.op);
+    if (arity >= 1) rewire(in.a);
+    if (arity >= 2) rewire(in.b);
+    if (arity >= 3) rewire(in.c);
+    PARMEM_CHECK(ir::has_dst(in.op), "speculated op must define a value");
+    const ir::ScalarType type = values.info(in.dst).type;
+    const ValueId fresh = values.make_temp(type, "spec");
+    current[in.dst] = fresh;
+    in.dst = fresh;
+    out.push_back(std::move(in));
+  }
+  return current;
+}
+
+bool convert_one(ir::TacProgram& prog, const Pattern& p,
+                 IfConvertStats& stats) {
+  const TacInstr& br = prog.instrs[p.branch];
+  const Operand cond = br.a;
+
+  std::vector<TacInstr> replacement;
+  auto then_final =
+      speculate_body(prog, p.then_first, p.then_last, prog.values,
+                     replacement);
+  auto else_final =
+      speculate_body(prog, p.else_first, p.else_last, prog.values,
+                     replacement);
+  if (p.inverted) std::swap(then_final, else_final);
+
+  // Merge: one select per value defined on either side.
+  std::map<ValueId, std::pair<Operand, Operand>> merges;  // v -> (then, else)
+  for (const auto& [v, t] : then_final) {
+    merges[v] = {Operand::val(t), Operand::val(v)};
+  }
+  for (const auto& [v, e] : else_final) {
+    const auto it = merges.find(v);
+    if (it == merges.end()) {
+      merges[v] = {Operand::val(v), Operand::val(e)};
+    } else {
+      it->second.second = Operand::val(e);
+    }
+  }
+  // A value only needs a merge select if some instruction outside the
+  // converted range reads it (expression temporaries local to a body die
+  // inside it — their selects would just be dead code).
+  const auto used_outside = [&](ValueId v) {
+    for (std::uint32_t i = 0; i < prog.instrs.size(); ++i) {
+      if (i >= p.branch && i < p.join) continue;
+      for (const ValueId u : prog.instrs[i].value_uses()) {
+        if (u == v) return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& [v, sources] : merges) {
+    if (!used_outside(v)) continue;
+    TacInstr sel;
+    sel.op = Opcode::kSelect;
+    sel.dst = v;
+    sel.a = cond;
+    sel.b = sources.first;
+    sel.c = sources.second;
+    replacement.push_back(std::move(sel));
+    ++stats.selects_inserted;
+  }
+
+  // Splice: instructions [p.branch, p.join) are replaced.
+  const std::uint32_t old_len = p.join - p.branch;
+  const std::uint32_t new_len =
+      static_cast<std::uint32_t>(replacement.size());
+
+  std::vector<TacInstr> rebuilt;
+  rebuilt.reserve(prog.instrs.size() - old_len + new_len);
+  for (std::uint32_t i = 0; i < p.branch; ++i) {
+    rebuilt.push_back(prog.instrs[i]);
+  }
+  for (TacInstr& in : replacement) rebuilt.push_back(std::move(in));
+  for (std::uint32_t i = p.join; i < prog.instrs.size(); ++i) {
+    rebuilt.push_back(prog.instrs[i]);
+  }
+
+  // Remap branch targets. No branch targets the interior (verified), so
+  // targets are either < p.branch + 1-ish or >= p.join.
+  const auto remap = [&](std::uint32_t t) -> std::uint32_t {
+    if (t <= p.branch) return t;
+    PARMEM_CHECK(t >= p.join, "branch into a converted region");
+    return t - old_len + new_len;
+  };
+  for (TacInstr& in : rebuilt) {
+    if (ir::is_terminator(in.op) && in.op != Opcode::kHalt) {
+      in.target = remap(in.target);
+    }
+  }
+  prog.instrs = std::move(rebuilt);
+  if (p.else_first == p.else_last) {
+    ++stats.triangles_converted;
+  } else {
+    ++stats.diamonds_converted;
+  }
+  return true;
+}
+
+}  // namespace
+
+IfConvertStats if_convert(ir::TacProgram& prog,
+                          const IfConvertOptions& opts) {
+  IfConvertStats stats;
+  for (std::size_t round = 0; round < opts.max_rounds; ++round) {
+    bool any = false;
+    // Convert every non-overlapping pattern found in this round; rescan
+    // after each splice because indices shift.
+    for (;;) {
+      const auto p = find_pattern(prog, opts);
+      if (!p.has_value()) break;
+      convert_one(prog, *p, stats);
+      any = true;
+    }
+    if (!any) break;
+  }
+  return stats;
+}
+
+}  // namespace parmem::lower

@@ -1,0 +1,51 @@
+// If-conversion: speculate pure branch bodies into straight-line selects.
+//
+// The paper's RLIW compiler fed the allocator large scheduled *regions*
+// built by moving operations across basic-block boundaries (Gupta & Soffa,
+// "A Matching Approach to Utilizing Fine-Grained Parallelism", HICSS 1988).
+// This pass performs the core of that transformation for the two acyclic
+// shapes lowering produces:
+//
+//   triangle                    diamond
+//   A: brfalse c -> J           A: brfalse c -> E
+//   T: pure ops                 T: pure ops; br -> J
+//   J: ...                      E: pure ops
+//                               J: ...
+//
+// When every operation in T (and E) is speculation-safe — defines a scalar,
+// cannot trap, touches no memory or output — both sides are executed
+// unconditionally into fresh temporaries and each variable defined by
+// either side is merged with a `select` (dst = cond ? then : else). The
+// result: one long basic block the list scheduler can pack into wide words,
+// which is precisely the operand pressure the paper's Table 1 assumes.
+//
+// Speculation-unsafe and therefore never converted: loads/stores (bounds
+// traps and memory order), div/mod (divide by zero), sqrt (negative
+// operand), print/halt/branches, and bodies longer than `max_ops`.
+#pragma once
+
+#include <cstddef>
+
+#include "ir/tac.h"
+
+namespace parmem::lower {
+
+struct IfConvertOptions {
+  /// Max operations per converted branch body.
+  std::size_t max_ops = 24;
+  /// Maximum number of conversion iterations (nested ifs convert one layer
+  /// per iteration, innermost first).
+  std::size_t max_rounds = 16;
+};
+
+struct IfConvertStats {
+  std::size_t triangles_converted = 0;
+  std::size_t diamonds_converted = 0;
+  std::size_t selects_inserted = 0;
+};
+
+/// Converts in place until no pattern remains (or max_rounds).
+IfConvertStats if_convert(ir::TacProgram& prog,
+                          const IfConvertOptions& opts = {});
+
+}  // namespace parmem::lower

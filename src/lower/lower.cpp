@@ -1,0 +1,520 @@
+#include "lower/lower.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace parmem::lower {
+namespace {
+
+using frontend::BinOp;
+using frontend::Expr;
+using frontend::Func;
+using frontend::Stmt;
+using frontend::Type;
+using frontend::UnOp;
+using ir::Opcode;
+using ir::Operand;
+using ir::ScalarType;
+using ir::TacInstr;
+using ir::ValueId;
+
+ScalarType to_scalar(Type t) {
+  PARMEM_CHECK(t != Type::kVoid, "void has no scalar type");
+  return t == Type::kInt ? ScalarType::kInt : ScalarType::kReal;
+}
+
+class Lowerer {
+ public:
+  Lowerer(const frontend::Program& prog, const LowerOptions& opts)
+      : prog_(prog), opts_(opts) {
+    for (const Func& f : prog.funcs) funcs_[f.name] = &f;
+  }
+
+  ir::TacProgram run() {
+    const Func* main = prog_.main();
+    PARMEM_CHECK(main != nullptr, "lowering requires a 'main' (run sema)");
+    out_.name = "main";
+    push_scope();
+    lower_block(main->body);
+    pop_scope();
+    emit(Opcode::kHalt);
+    patch_labels();
+    mark_single_assignment();
+    return std::move(out_);
+  }
+
+ private:
+  // ------------------------------------------------------------ scopes --
+
+  struct Scope {
+    std::map<std::string, ValueId> vars;
+    std::map<std::string, ir::ArrayId> arrays;
+  };
+
+  void push_scope() { scopes_.push_back({}); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  ValueId lookup_var(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto f = it->vars.find(name);
+      if (f != it->vars.end()) return f->second;
+    }
+    PARMEM_UNREACHABLE("unresolved variable '" + name + "' (run sema)");
+  }
+
+  ir::ArrayId lookup_array(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto f = it->arrays.find(name);
+      if (f != it->arrays.end()) return f->second;
+    }
+    PARMEM_UNREACHABLE("unresolved array '" + name + "' (run sema)");
+  }
+
+  /// Declares `name` in the innermost scope. `display_prefix` only affects
+  /// the debug name (inlined parameters read as "callee.param#id").
+  ValueId declare_var(const std::string& name, ScalarType t,
+                      const std::string& display_prefix = "") {
+    ir::ValueInfo vi;
+    vi.name = display_prefix + name + "#" + std::to_string(out_.values.size());
+    vi.type = t;
+    vi.kind = ir::ValueKind::kVariable;
+    vi.single_assignment = false;  // refined by mark_single_assignment()
+    const ValueId v = out_.values.add(std::move(vi));
+    scopes_.back().vars[name] = v;
+    return v;
+  }
+
+  // ------------------------------------------------------ instructions --
+
+  std::uint32_t emit(TacInstr in) {
+    out_.instrs.push_back(std::move(in));
+    return static_cast<std::uint32_t>(out_.instrs.size() - 1);
+  }
+  std::uint32_t emit(Opcode op) {
+    TacInstr in;
+    in.op = op;
+    return emit(in);
+  }
+
+  // Labels: a label is an id; branches record fixups.
+  std::uint32_t new_label() {
+    label_target_.push_back(0xffffffff);
+    return static_cast<std::uint32_t>(label_target_.size() - 1);
+  }
+  void bind_label(std::uint32_t label) {
+    label_target_[label] = static_cast<std::uint32_t>(out_.instrs.size());
+  }
+  void emit_branch(Opcode op, Operand cond, std::uint32_t label) {
+    TacInstr in;
+    in.op = op;
+    in.a = cond;
+    in.target = label;  // patched later
+    fixups_.push_back(emit(std::move(in)));
+  }
+  void patch_labels() {
+    // A label bound at end-of-program points at the final halt.
+    for (const std::uint32_t i : fixups_) {
+      const std::uint32_t label = out_.instrs[i].target;
+      std::uint32_t t = label_target_[label];
+      PARMEM_CHECK(t != 0xffffffff, "unbound label");
+      if (t >= out_.instrs.size()) {
+        t = static_cast<std::uint32_t>(out_.instrs.size() - 1);
+      }
+      out_.instrs[i].target = t;
+    }
+  }
+
+  // ----------------------------------------------------------- values --
+
+  ValueId fresh_temp(ScalarType t) { return out_.values.make_temp(t); }
+
+  // ------------------------------------------------------ statements --
+
+  void lower_block(const std::vector<frontend::StmtPtr>& stmts) {
+    for (const auto& s : stmts) lower_stmt(*s);
+  }
+
+  void lower_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kVarDecl: {
+        const ValueId v = declare_var(s.name, to_scalar(s.decl_type));
+        if (s.expr) {
+          assign_to(v, lower_expr(*s.expr));
+        }
+        break;
+      }
+      case Stmt::Kind::kArrayDecl: {
+        ir::ArrayInfo ai;
+        ai.name = s.name + "#" + std::to_string(out_.arrays.size());
+        ai.type = to_scalar(s.decl_type);
+        ai.length = static_cast<std::size_t>(s.array_length);
+        scopes_.back().arrays[s.name] = out_.arrays.add(std::move(ai));
+        break;
+      }
+      case Stmt::Kind::kAssign: {
+        assign_to(lookup_var(s.name), lower_expr(*s.expr));
+        break;
+      }
+      case Stmt::Kind::kArrayAssign: {
+        const ir::ArrayId a = lookup_array(s.name);
+        const Operand idx = lower_expr(*s.expr2);
+        const Operand val = lower_expr(*s.expr);
+        TacInstr in;
+        in.op = Opcode::kStore;
+        in.array = a;
+        in.a = idx;
+        in.b = val;
+        emit(std::move(in));
+        break;
+      }
+      case Stmt::Kind::kIf: {
+        const Operand cond = lower_expr(*s.expr);
+        const std::uint32_t else_l = new_label();
+        const std::uint32_t end_l = new_label();
+        emit_branch(Opcode::kBrFalse, cond, else_l);
+        push_scope();
+        lower_block(s.body);
+        pop_scope();
+        if (!s.else_body.empty()) {
+          emit_branch(Opcode::kBr, Operand::none(), end_l);
+          bind_label(else_l);
+          push_scope();
+          lower_block(s.else_body);
+          pop_scope();
+          bind_label(end_l);
+        } else {
+          bind_label(else_l);
+          bind_label(end_l);
+        }
+        break;
+      }
+      case Stmt::Kind::kWhile: {
+        const std::uint32_t head = new_label();
+        const std::uint32_t end = new_label();
+        bind_label(head);
+        const Operand cond = lower_expr(*s.expr);
+        emit_branch(Opcode::kBrFalse, cond, end);
+        push_scope();
+        lower_block(s.body);
+        pop_scope();
+        emit_branch(Opcode::kBr, Operand::none(), head);
+        bind_label(end);
+        break;
+      }
+      case Stmt::Kind::kFor: {
+        const ValueId i = lookup_var(s.name);
+        assign_to(i, lower_expr(*s.expr));
+        // Evaluate the upper bound once, before the loop (MC semantics):
+        // a variable bound must be snapshot into a temporary, or the loop
+        // condition would re-read its current value every iteration.
+        Operand hi = lower_expr(*s.expr2);
+        if (hi.is_value()) {
+          const ValueId snap = fresh_temp(ScalarType::kInt);
+          TacInstr in;
+          in.op = Opcode::kMov;
+          in.dst = snap;
+          in.a = hi;
+          emit(std::move(in));
+          hi = Operand::val(snap);
+        }
+        const std::uint32_t head = new_label();
+        const std::uint32_t end = new_label();
+        bind_label(head);
+        const ValueId cond = fresh_temp(ScalarType::kInt);
+        {
+          TacInstr in;
+          in.op = Opcode::kCmpLe;
+          in.dst = cond;
+          in.a = Operand::val(i);
+          in.b = hi;
+          emit(std::move(in));
+        }
+        emit_branch(Opcode::kBrFalse, Operand::val(cond), end);
+        push_scope();
+        lower_block(s.body);
+        pop_scope();
+        {
+          TacInstr in;
+          in.op = Opcode::kAdd;
+          in.dst = i;
+          in.a = Operand::val(i);
+          in.b = Operand::imm(std::int64_t{1});
+          emit(std::move(in));
+        }
+        emit_branch(Opcode::kBr, Operand::none(), head);
+        bind_label(end);
+        break;
+      }
+      case Stmt::Kind::kPrint: {
+        TacInstr in;
+        in.op = Opcode::kPrint;
+        in.a = lower_expr(*s.expr);
+        emit(std::move(in));
+        break;
+      }
+      case Stmt::Kind::kReturn: {
+        PARMEM_CHECK(!inline_stack_.empty() || !s.expr,
+                     "'main' returns void (run sema)");
+        if (inline_stack_.empty()) {
+          // Return from main: jump to the trailing halt via a label bound at
+          // the very end of lowering.
+          emit_branch(Opcode::kBr, Operand::none(), main_end_label());
+        } else {
+          // Copy the frame: lowering the return expression may inline
+          // further calls, growing inline_stack_ and invalidating any
+          // reference into it.
+          const InlineFrame fr = inline_stack_.back();
+          if (s.expr) {
+            PARMEM_CHECK(fr.ret_value != ir::kInvalidValue,
+                         "value return from void function (run sema)");
+            const Operand v = lower_expr(*s.expr);
+            assign_to(fr.ret_value, v);
+          }
+          emit_branch(Opcode::kBr, Operand::none(), fr.end_label);
+        }
+        break;
+      }
+      case Stmt::Kind::kExpr: {
+        lower_expr(*s.expr);
+        break;
+      }
+      case Stmt::Kind::kBlock: {
+        push_scope();
+        lower_block(s.body);
+        pop_scope();
+        break;
+      }
+    }
+  }
+
+  std::uint32_t main_end_label() {
+    if (main_end_label_ == 0xffffffff) {
+      main_end_label_ = new_label();
+      // Bound at the position of the final halt: patch_labels clamps
+      // out-of-range targets to the last instruction, so binding "past the
+      // end" is exactly right.
+      label_target_[main_end_label_] = 0x7fffffff;
+    }
+    return main_end_label_;
+  }
+
+  void assign_to(ValueId dst, const Operand& src) {
+    if (src.is_value() && src.value == dst) return;
+    TacInstr in;
+    in.op = Opcode::kMov;
+    in.dst = dst;
+    in.a = src;
+    emit(std::move(in));
+  }
+
+  // ------------------------------------------------------ expressions --
+
+  Operand lower_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+        return Operand::imm(e.int_value);
+      case Expr::Kind::kRealLit:
+        return Operand::imm(e.real_value);
+      case Expr::Kind::kVarRef:
+        return Operand::val(lookup_var(e.name));
+      case Expr::Kind::kArrayRef: {
+        const ir::ArrayId a = lookup_array(e.name);
+        const Operand idx = lower_expr(*e.a);
+        const ValueId dst = fresh_temp(to_scalar(e.type));
+        TacInstr in;
+        in.op = Opcode::kLoad;
+        in.dst = dst;
+        in.array = a;
+        in.a = idx;
+        emit(std::move(in));
+        return Operand::val(dst);
+      }
+      case Expr::Kind::kUnary: {
+        const Operand a = lower_expr(*e.a);
+        if (opts_.fold_constants && a.kind == Operand::Kind::kImmInt) {
+          return Operand::imm(e.un_op == UnOp::kNeg ? -a.imm_int
+                                                    : (a.imm_int == 0 ? 1 : 0));
+        }
+        if (opts_.fold_constants && a.kind == Operand::Kind::kImmReal &&
+            e.un_op == UnOp::kNeg) {
+          return Operand::imm(-a.imm_real);
+        }
+        const ValueId dst = fresh_temp(to_scalar(e.type));
+        TacInstr in;
+        in.op = e.un_op == UnOp::kNeg ? Opcode::kNeg : Opcode::kNot;
+        in.dst = dst;
+        in.a = a;
+        emit(std::move(in));
+        return Operand::val(dst);
+      }
+      case Expr::Kind::kBinary:
+        return lower_binary(e);
+      case Expr::Kind::kCall:
+        return lower_call(e);
+    }
+    PARMEM_UNREACHABLE("bad expression kind");
+  }
+
+  static Opcode binop_opcode(BinOp op) {
+    switch (op) {
+      case BinOp::kAdd: return Opcode::kAdd;
+      case BinOp::kSub: return Opcode::kSub;
+      case BinOp::kMul: return Opcode::kMul;
+      case BinOp::kDiv: return Opcode::kDiv;
+      case BinOp::kMod: return Opcode::kMod;
+      case BinOp::kEq: return Opcode::kCmpEq;
+      case BinOp::kNe: return Opcode::kCmpNe;
+      case BinOp::kLt: return Opcode::kCmpLt;
+      case BinOp::kLe: return Opcode::kCmpLe;
+      case BinOp::kGt: return Opcode::kCmpGt;
+      case BinOp::kGe: return Opcode::kCmpGe;
+      case BinOp::kAnd: return Opcode::kAnd;
+      case BinOp::kOr: return Opcode::kOr;
+    }
+    PARMEM_UNREACHABLE("bad binop");
+  }
+
+  Operand lower_binary(const Expr& e) {
+    const Operand a = lower_expr(*e.a);
+    const Operand b = lower_expr(*e.b);
+    if (opts_.fold_constants && a.kind == Operand::Kind::kImmInt &&
+        b.kind == Operand::Kind::kImmInt) {
+      const auto folded = fold_int(e.bin_op, a.imm_int, b.imm_int);
+      if (folded.has_value()) return Operand::imm(*folded);
+    }
+    const ValueId dst = fresh_temp(to_scalar(e.type));
+    TacInstr in;
+    in.op = binop_opcode(e.bin_op);
+    in.dst = dst;
+    in.a = a;
+    in.b = b;
+    emit(std::move(in));
+    return Operand::val(dst);
+  }
+
+  static std::optional<std::int64_t> fold_int(BinOp op, std::int64_t x,
+                                              std::int64_t y) {
+    switch (op) {
+      case BinOp::kAdd: return x + y;
+      case BinOp::kSub: return x - y;
+      case BinOp::kMul: return x * y;
+      case BinOp::kDiv:
+        if (y == 0) return std::nullopt;  // defer to run time
+        return x / y;
+      case BinOp::kMod:
+        if (y == 0) return std::nullopt;
+        return x % y;
+      case BinOp::kEq: return x == y ? 1 : 0;
+      case BinOp::kNe: return x != y ? 1 : 0;
+      case BinOp::kLt: return x < y ? 1 : 0;
+      case BinOp::kLe: return x <= y ? 1 : 0;
+      case BinOp::kGt: return x > y ? 1 : 0;
+      case BinOp::kGe: return x >= y ? 1 : 0;
+      case BinOp::kAnd: return (x != 0 && y != 0) ? 1 : 0;
+      case BinOp::kOr: return (x != 0 || y != 0) ? 1 : 0;
+    }
+    return std::nullopt;
+  }
+
+  Operand lower_call(const Expr& e) {
+    // Builtins.
+    const auto unary_builtin = [&](Opcode op, ScalarType result) -> Operand {
+      const Operand a = lower_expr(*e.args[0]);
+      const ValueId dst = fresh_temp(result);
+      TacInstr in;
+      in.op = op;
+      in.dst = dst;
+      in.a = a;
+      emit(std::move(in));
+      return Operand::val(dst);
+    };
+    if (e.name == "sqrt") return unary_builtin(Opcode::kSqrt, ScalarType::kReal);
+    if (e.name == "sin") return unary_builtin(Opcode::kSin, ScalarType::kReal);
+    if (e.name == "cos") return unary_builtin(Opcode::kCos, ScalarType::kReal);
+    if (e.name == "abs") {
+      return unary_builtin(Opcode::kAbs, to_scalar(e.type));
+    }
+    if (e.name == "int") return unary_builtin(Opcode::kToInt, ScalarType::kInt);
+    if (e.name == "real") {
+      return unary_builtin(Opcode::kToReal, ScalarType::kReal);
+    }
+
+    // User function: inline the body.
+    const auto it = funcs_.find(e.name);
+    PARMEM_CHECK(it != funcs_.end(), "unresolved call (run sema)");
+    const Func* callee = it->second;
+
+    // Evaluate arguments in the caller's scope.
+    std::vector<Operand> args;
+    args.reserve(e.args.size());
+    for (const auto& a : e.args) args.push_back(lower_expr(*a));
+
+    push_scope();
+    for (std::size_t i = 0; i < callee->params.size(); ++i) {
+      const ValueId p =
+          declare_var(callee->params[i].name,
+                      to_scalar(callee->params[i].type), callee->name + ".");
+      assign_to(p, args[i]);
+    }
+
+    InlineFrame fr;
+    fr.end_label = new_label();
+    fr.ret_value = callee->return_type == Type::kVoid
+                       ? ir::kInvalidValue
+                       : declare_var("ret", to_scalar(callee->return_type),
+                                     callee->name + ".");
+    inline_stack_.push_back(fr);
+    lower_block(callee->body);
+    inline_stack_.pop_back();
+    bind_label(fr.end_label);
+    pop_scope();
+
+    if (fr.ret_value == ir::kInvalidValue) return Operand::none();
+    return Operand::val(fr.ret_value);
+  }
+
+  // ------------------------------------------------------ post passes --
+
+  /// Variables with exactly one static definition are single-assignment and
+  /// therefore duplicable (see lower.h).
+  void mark_single_assignment() {
+    std::vector<std::size_t> defs(out_.values.size(), 0);
+    for (const TacInstr& in : out_.instrs) {
+      if (ir::has_dst(in.op)) ++defs[in.dst];
+    }
+    for (ValueId v = 0; v < out_.values.size(); ++v) {
+      ir::ValueInfo& vi = out_.values.info(v);
+      if (vi.kind == ir::ValueKind::kVariable) {
+        vi.single_assignment = defs[v] <= 1;
+      }
+    }
+  }
+
+  struct InlineFrame {
+    std::uint32_t end_label = 0;
+    ValueId ret_value = ir::kInvalidValue;
+  };
+
+  const frontend::Program& prog_;
+  LowerOptions opts_;
+  std::map<std::string, const Func*> funcs_;
+  ir::TacProgram out_;
+  std::vector<Scope> scopes_;
+  std::vector<std::uint32_t> label_target_;
+  std::vector<std::uint32_t> fixups_;
+  std::vector<InlineFrame> inline_stack_;
+  std::uint32_t main_end_label_ = 0xffffffff;
+};
+
+}  // namespace
+
+ir::TacProgram lower_program(const frontend::Program& prog,
+                             const LowerOptions& opts) {
+  return Lowerer(prog, opts).run();
+}
+
+}  // namespace parmem::lower

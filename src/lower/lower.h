@@ -1,0 +1,37 @@
+// Lowering: MC AST -> three-address code.
+//
+// Design decisions that matter to memory-module assignment:
+//
+//  * every compiler temporary is a fresh single-assignment value — these are
+//    the freely-duplicable data values of §2 ("no data value is ever
+//    updated");
+//  * each user variable lowers to ONE value for the whole program; after
+//    lowering, a def-count scan marks variables with a single static
+//    definition as single-assignment (safe to duplicate: the compile-time-
+//    scheduled copy transfer sits in the defining region, so re-execution
+//    refreshes every copy). Multi-def variables stay mutable and keep a
+//    single copy — the base system of the paper, which §3 suggests
+//    improving by renaming (see rename.h);
+//  * function calls are inlined (sema guarantees an acyclic call graph);
+//  * '&&' and '||' are strict (both sides evaluated) — branch-free code
+//    packs better into long instruction words and matches 1980s VLIW
+//    practice;
+//  * integer constant expressions are folded.
+#pragma once
+
+#include "frontend/ast.h"
+#include "ir/tac.h"
+
+namespace parmem::lower {
+
+struct LowerOptions {
+  /// Fold integer constant subexpressions.
+  bool fold_constants = true;
+};
+
+/// Lowers a sema-checked program. Throws support::UserError on constructs
+/// sema missed only if the AST was not checked (call frontend::sema first).
+ir::TacProgram lower_program(const frontend::Program& prog,
+                             const LowerOptions& opts = {});
+
+}  // namespace parmem::lower

@@ -1,0 +1,150 @@
+#include "lower/opt.h"
+
+#include <map>
+#include <vector>
+
+#include "ir/region.h"
+#include "support/diagnostics.h"
+
+namespace parmem::lower {
+namespace {
+
+using ir::Opcode;
+using ir::Operand;
+using ir::TacInstr;
+using ir::ValueId;
+
+/// Does executing this instruction have an effect beyond defining dst?
+bool has_side_effect(const TacInstr& in) {
+  switch (in.op) {
+    case Opcode::kStore:
+    case Opcode::kXfer:
+    case Opcode::kBr:
+    case Opcode::kBrTrue:
+    case Opcode::kBrFalse:
+    case Opcode::kPrint:
+    case Opcode::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::size_t copy_propagate(ir::TacProgram& prog) {
+  const ir::RegionGraph rg = ir::RegionGraph::build(prog);
+  std::size_t propagated = 0;
+
+  for (const ir::Region& r : rg.regions) {
+    // alias[v] = the operand v currently copies (value or immediate).
+    std::map<ValueId, Operand> alias;
+    // reverse[y] = values currently aliased to value y.
+    std::map<ValueId, std::vector<ValueId>> reverse;
+
+    const auto kill = [&](ValueId v) {
+      alias.erase(v);
+      const auto it = reverse.find(v);
+      if (it != reverse.end()) {
+        for (const ValueId a : it->second) alias.erase(a);
+        reverse.erase(it);
+      }
+    };
+
+    for (std::uint32_t i = r.first; i < r.last; ++i) {
+      TacInstr& in = prog.instrs[i];
+      const auto rewrite = [&](Operand& o) {
+        if (!o.is_value()) return;
+        const auto it = alias.find(o.value);
+        if (it != alias.end()) {
+          o = it->second;
+          ++propagated;
+        }
+      };
+      const int arity = ir::operand_arity(in.op);
+      if (arity >= 1) rewrite(in.a);
+      if (arity >= 2) rewrite(in.b);
+      if (arity >= 3) rewrite(in.c);
+
+      if (ir::has_dst(in.op)) {
+        kill(in.dst);
+        if (in.op == Opcode::kMov) {
+          // Record the copy (after rewriting, a is the ultimate source).
+          if (!in.a.is_value() || in.a.value != in.dst) {
+            alias[in.dst] = in.a;
+            if (in.a.is_value()) reverse[in.a.value].push_back(in.dst);
+          }
+        }
+      }
+    }
+  }
+  return propagated;
+}
+
+std::size_t dead_code_eliminate(ir::TacProgram& prog) {
+  // Values read anywhere (operands of any instruction).
+  std::vector<bool> used(prog.values.size(), false);
+  for (const TacInstr& in : prog.instrs) {
+    for (const ValueId v : in.value_uses()) used[v] = true;
+  }
+
+  std::vector<bool> keep(prog.instrs.size(), true);
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
+    const TacInstr& in = prog.instrs[i];
+    if (has_side_effect(in)) continue;
+    if (in.op == Opcode::kNop ||
+        (ir::has_dst(in.op) && !used[in.dst])) {
+      keep[i] = false;
+      ++removed;
+    }
+  }
+  if (removed == 0) return 0;
+
+  // Compact and remap branch targets: a target maps to the first kept
+  // instruction at or after it.
+  std::vector<std::uint32_t> new_index(prog.instrs.size() + 1, 0);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
+    new_index[i] = next;
+    if (keep[i]) ++next;
+  }
+  new_index[prog.instrs.size()] = next;
+  // Forward targets landing on removed instructions slide to the next kept
+  // one; new_index[t] already is "number of kept before t", which is the
+  // index of the first kept instruction >= t.
+  std::vector<TacInstr> compacted;
+  compacted.reserve(next);
+  for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
+    if (!keep[i]) continue;
+    TacInstr in = prog.instrs[i];
+    if (ir::is_terminator(in.op) && in.op != Opcode::kHalt) {
+      PARMEM_CHECK(in.target <= prog.instrs.size(), "target out of range");
+      std::uint32_t t = new_index[in.target];
+      if (t >= next) t = next - 1;  // clamp to the final halt
+      in.target = t;
+    }
+    compacted.push_back(std::move(in));
+  }
+  PARMEM_CHECK(!compacted.empty() &&
+                   compacted.back().op == Opcode::kHalt,
+               "DCE must preserve the trailing halt");
+  prog.instrs = std::move(compacted);
+  return removed;
+}
+
+OptStats optimize(ir::TacProgram& prog) {
+  OptStats stats;
+  for (;;) {
+    ++stats.passes;
+    const std::size_t p = copy_propagate(prog);
+    const std::size_t d = dead_code_eliminate(prog);
+    stats.copies_propagated += p;
+    stats.instructions_removed += d;
+    if (p == 0 && d == 0) break;
+    PARMEM_CHECK(stats.passes < 100, "optimizer failed to converge");
+  }
+  return stats;
+}
+
+}  // namespace parmem::lower

@@ -1,0 +1,37 @@
+// Classic TAC clean-up passes.
+//
+// Inlining, renaming and lowering leave behind chains of `mov` copies and
+// values that are never read. Any compiler of the paper's era ran these two
+// passes; here they sharpen the access streams (fewer spurious fetches, so
+// conflict graphs reflect real operand traffic) and tighten the scheduled
+// words.
+//
+//  * copy propagation (block-local): a use of `x` after `mov x = y` reads
+//    `y` directly while neither x nor y has been redefined;
+//  * dead code elimination (global, to fixpoint): instructions defining a
+//    value that is never read are dropped, provided they have no side
+//    effect. Loads are treated as pure; a dead integer division is dropped
+//    even though it could trap at run time — MC declares division by zero
+//    in dead code to be unobservable (both the LIW machine and the
+//    sequential reference execute the same optimized TAC, so they agree).
+#pragma once
+
+#include "ir/tac.h"
+
+namespace parmem::lower {
+
+struct OptStats {
+  std::size_t copies_propagated = 0;
+  std::size_t instructions_removed = 0;
+  std::size_t passes = 0;
+};
+
+/// Runs copy propagation and DCE alternately until neither changes
+/// anything. Branch targets are remapped when instructions are removed.
+OptStats optimize(ir::TacProgram& prog);
+
+/// Individual passes (exposed for tests).
+std::size_t copy_propagate(ir::TacProgram& prog);
+std::size_t dead_code_eliminate(ir::TacProgram& prog);
+
+}  // namespace parmem::lower

@@ -1,0 +1,85 @@
+#include "lower/rename.h"
+
+#include <map>
+#include <vector>
+
+#include "ir/region.h"
+#include "support/diagnostics.h"
+
+namespace parmem::lower {
+
+RenameStats rename_locals(ir::TacProgram& prog) {
+  RenameStats stats;
+  const ir::RegionGraph rg = ir::RegionGraph::build(prog);
+
+  for (const ir::Region& r : rg.regions) {
+    // Count defs of each mutable variable within this block.
+    std::map<ir::ValueId, std::size_t> defs_in_block;
+    for (std::uint32_t i = r.first; i < r.last; ++i) {
+      const ir::TacInstr& in = prog.instrs[i];
+      if (!ir::has_dst(in.op)) continue;
+      const ir::ValueInfo& vi = prog.values.info(in.dst);
+      if (vi.kind == ir::ValueKind::kVariable && !vi.single_assignment) {
+        ++defs_in_block[in.dst];
+      }
+    }
+
+    // Current name of each variable inside the block (starts as itself).
+    std::map<ir::ValueId, ir::ValueId> current;
+    std::map<ir::ValueId, std::size_t> defs_seen;
+
+    for (std::uint32_t i = r.first; i < r.last; ++i) {
+      ir::TacInstr& in = prog.instrs[i];
+      // Rewire uses to the latest renamed definition.
+      const auto rewire = [&](ir::Operand& o) {
+        if (!o.is_value()) return;
+        const auto it = current.find(o.value);
+        if (it != current.end()) o.value = it->second;
+      };
+      const int arity = ir::operand_arity(in.op);
+      if (arity >= 1) rewire(in.a);
+      if (arity >= 2) rewire(in.b);
+      if (arity >= 3) rewire(in.c);
+
+      if (!ir::has_dst(in.op)) continue;
+      const auto dit = defs_in_block.find(in.dst);
+      if (dit == defs_in_block.end()) continue;  // not a renamable variable
+
+      const std::size_t seen = ++defs_seen[in.dst];
+      if (seen < dit->second) {
+        // Not the last definition in the block: rename it.
+        const ir::ValueInfo& old = prog.values.info(in.dst);
+        ir::ValueInfo vi;
+        vi.name = old.name + ".r" + std::to_string(stats.values_added);
+        vi.type = old.type;
+        vi.kind = ir::ValueKind::kRenamed;
+        vi.single_assignment = true;
+        const ir::ValueId fresh = prog.values.add(std::move(vi));
+        current[in.dst] = fresh;
+        in.dst = fresh;
+        ++stats.definitions_renamed;
+        ++stats.values_added;
+      } else {
+        // Last definition: keep the carrier, clear the renaming so later
+        // uses read the carrier again.
+        current.erase(in.dst);
+      }
+    }
+  }
+
+  // Re-derive single-assignment flags: renaming may have left a variable
+  // with a single remaining static definition.
+  std::vector<std::size_t> defs(prog.values.size(), 0);
+  for (const ir::TacInstr& in : prog.instrs) {
+    if (ir::has_dst(in.op)) ++defs[in.dst];
+  }
+  for (ir::ValueId v = 0; v < prog.values.size(); ++v) {
+    ir::ValueInfo& vi = prog.values.info(v);
+    if (vi.kind == ir::ValueKind::kVariable) {
+      vi.single_assignment = defs[v] <= 1;
+    }
+  }
+  return stats;
+}
+
+}  // namespace parmem::lower

@@ -1,0 +1,80 @@
+#include "machine/conflict_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.h"
+
+namespace parmem::machine {
+
+double prob_max_load_at_most(const std::vector<std::uint64_t>& base,
+                             std::size_t random_accesses,
+                             std::uint64_t bound) {
+  const std::size_t k = base.size();
+  PARMEM_CHECK(k >= 1, "need at least one module");
+  for (const std::uint64_t b : base) {
+    if (b > bound) return 0.0;
+  }
+  const std::size_t a = random_accesses;
+  if (a == 0) return 1.0;
+
+  // dp[n] = (# ways to distribute the first j modules' shares using n of
+  // the labeled accesses, all bounded) / k^n-ish — we work with raw counts
+  // in double (a <= ~64 in practice, k <= 32: magnitudes are fine).
+  // Binomials up to C(a, c).
+  std::vector<std::vector<double>> binom(a + 1, std::vector<double>(a + 1, 0));
+  for (std::size_t n = 0; n <= a; ++n) {
+    binom[n][0] = 1;
+    for (std::size_t c = 1; c <= n; ++c) {
+      binom[n][c] = binom[n - 1][c - 1] + (c <= n - 1 ? binom[n - 1][c] : 0);
+    }
+  }
+
+  std::vector<double> dp(a + 1, 0.0);
+  dp[0] = 1.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::uint64_t cap = bound - base[j];  // max accesses module j takes
+    std::vector<double> next(a + 1, 0.0);
+    for (std::size_t n = 0; n <= a; ++n) {
+      if (dp[n] == 0.0) continue;
+      const std::size_t cmax = std::min<std::size_t>(
+          a - n, static_cast<std::size_t>(std::min<std::uint64_t>(cap, a)));
+      for (std::size_t c = 0; c <= cmax; ++c) {
+        // Choosing which of the remaining labeled accesses go to module j.
+        next[n + c] += dp[n] * binom[a - n][c];
+      }
+    }
+    dp = std::move(next);
+  }
+  return dp[a] / std::pow(static_cast<double>(k), static_cast<double>(a));
+}
+
+std::vector<double> max_load_distribution(
+    const std::vector<std::uint64_t>& base, std::size_t random_accesses) {
+  const std::uint64_t base_max =
+      base.empty() ? 0 : *std::max_element(base.begin(), base.end());
+  const std::uint64_t hi = base_max + random_accesses;
+  std::vector<double> dist(hi + 1, 0.0);
+  double prev = 0.0;
+  for (std::uint64_t m = 0; m <= hi; ++m) {
+    const double cum = prob_max_load_at_most(base, random_accesses, m);
+    dist[m] = cum - prev;
+    prev = cum;
+  }
+  return dist;
+}
+
+double expected_max_load(const std::vector<std::uint64_t>& base,
+                         std::size_t random_accesses) {
+  const std::uint64_t base_max =
+      base.empty() ? 0 : *std::max_element(base.begin(), base.end());
+  const std::uint64_t hi = base_max + random_accesses;
+  // E[X] = Σ_{m=1..hi} P(X >= m) = Σ (1 - P(X <= m-1)).
+  double e = 0.0;
+  for (std::uint64_t m = 1; m <= hi; ++m) {
+    e += 1.0 - prob_max_load_at_most(base, random_accesses, m - 1);
+  }
+  return e;
+}
+
+}  // namespace parmem::machine

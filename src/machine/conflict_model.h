@@ -1,0 +1,36 @@
+// Analytic conflict model (§3).
+//
+// For one long instruction the paper computes
+//     t_ave = Σ_{i=1..n_m} i · Δ · p(i)
+// where p(i) is the probability that the instruction needs i operands from
+// the same module, i.e. Δ · E[max module load] when each array access picks
+// a module uniformly at random while the compile-time-placed scalar
+// accesses are fixed. We compute E[max] exactly: with `a` independent
+// uniform accesses over k modules on top of fixed per-module base loads,
+//     P(max <= M) = (# bounded assignments) / k^a
+// via a DP over modules, and E[max] = Σ_{m>=1} P(max >= m).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parmem::machine {
+
+/// Expected maximum per-module load. `base[m]` is the fixed load on module
+/// m (scalar fetches), `random_accesses` the number of uniform array
+/// accesses. base.size() is the module count.
+double expected_max_load(const std::vector<std::uint64_t>& base,
+                         std::size_t random_accesses);
+
+/// Probability that the maximum load is at most `bound` (helper, exposed
+/// for tests).
+double prob_max_load_at_most(const std::vector<std::uint64_t>& base,
+                             std::size_t random_accesses, std::uint64_t bound);
+
+/// The paper's p(i): probability that the instruction requires exactly i
+/// operands from the busiest module. Index 0 of the result is P(max = 0)
+/// (only possible with no accesses at all); entries sum to 1.
+std::vector<double> max_load_distribution(
+    const std::vector<std::uint64_t>& base, std::size_t random_accesses);
+
+}  // namespace parmem::machine

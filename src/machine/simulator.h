@@ -1,0 +1,76 @@
+// Lock-step LIW simulator — functional and timing — plus the sequential
+// reference machine.
+//
+// Functional semantics of a word: every operand read sees the pre-word
+// state; all writes (and the branch decision) commit together afterwards.
+//
+// Timing of a word: each scalar operand is fetched from one module holding
+// a copy of it (the simulator picks distinct representatives when they
+// exist — that is exactly what the compile-time assignment guarantees for
+// predictable operands); each array access is banked by the configured
+// ArrayPolicy; transfers occupy their two ports. A word with a maximum
+// per-module pile-up of i costs max(1, i·Δ) cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assign/assigner.h"
+#include "ir/liw.h"
+#include "machine/config.h"
+
+namespace parmem::machine {
+
+struct RunResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t words_executed = 0;
+  std::uint64_t ops_executed = 0;
+  /// Σ over executed words of Δ·(max module load); the paper's "time spent
+  /// on performing the memory transfers".
+  std::uint64_t memory_transfer_time = 0;
+  /// Same quantity under the analytic model: array accesses uniform over
+  /// modules, scalars fixed (Σ Δ·E[max]). Policy-independent.
+  double analytic_transfer_time = 0.0;
+  /// Executed words whose max module load exceeded one.
+  std::uint64_t conflict_words = 0;
+  std::uint64_t scalar_fetches = 0;
+  std::uint64_t array_accesses = 0;
+  std::uint64_t transfers_executed = 0;
+  std::vector<std::uint64_t> module_accesses;  // per-module histogram
+  /// histogram[i] = number of executed words whose maximum per-module load
+  /// was i — the empirical counterpart of the paper's p(i) distribution
+  /// (compare with machine::max_load_distribution).
+  std::vector<std::uint64_t> max_load_histogram;
+  std::vector<std::string> output;             // kPrint results, in order
+};
+
+/// Initial array contents for a run: array id -> per-element values
+/// (int64 for int arrays; for real arrays pass the bit-meaningful doubles
+/// via the `reals` field). Arrays not listed start zeroed.
+struct MemoryImage {
+  struct ArrayInit {
+    ir::ArrayId array = 0;
+    std::vector<std::int64_t> ints;   // used when the array is int
+    std::vector<double> reals;        // used when the array is real
+  };
+  std::vector<ArrayInit> arrays;
+};
+
+/// Runs a scheduled program under `assignment`. Values with no placement
+/// (never fetched) are written to module (id mod k) when count_writes is
+/// on. Throws support::UserError on run-time errors (division by zero,
+/// array index out of bounds) and InternalError if max_words is exceeded.
+RunResult run_liw(const ir::LiwProgram& prog,
+                  const assign::AssignResult& assignment,
+                  const MachineConfig& config,
+                  const MemoryImage& image = {});
+
+/// Sequential reference machine: executes the TAC one operation per step.
+/// Functional oracle for the LIW pipeline; timing: an op costs
+/// max(1, Δ·accesses) with every access serialized through a single port.
+RunResult run_sequential(const ir::TacProgram& prog,
+                         const MachineConfig& config,
+                         const MemoryImage& image = {});
+
+}  // namespace parmem::machine

@@ -1,0 +1,99 @@
+#include "sched/ddg.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/diagnostics.h"
+
+namespace parmem::sched {
+
+BlockDdg BlockDdg::build(const ir::TacProgram& prog,
+                         const ir::Region& region) {
+  BlockDdg ddg;
+  ddg.first = region.first;
+  ddg.count = region.last - region.first;
+  ddg.succs.assign(ddg.count, {});
+  ddg.pred_count.assign(ddg.count, 0);
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const auto add_edge = [&](std::uint32_t from, std::uint32_t to) {
+    if (from == to) return;
+    PARMEM_CHECK(from < to, "dependence edges must follow program order");
+    if (edges.insert({from, to}).second) {
+      ddg.succs[from].push_back(to);
+      ++ddg.pred_count[to];
+    }
+  };
+
+  std::map<ir::ValueId, std::uint32_t> last_def;
+  std::map<ir::ValueId, std::vector<std::uint32_t>> uses_since_def;
+  std::map<ir::ArrayId, std::uint32_t> last_store;
+  std::map<ir::ArrayId, std::vector<std::uint32_t>> loads_since_store;
+  std::int64_t last_output = -1;  // print ordering
+
+  for (std::uint32_t n = 0; n < ddg.count; ++n) {
+    const ir::TacInstr& in = prog.instrs[region.first + n];
+
+    // RAW: uses depend on the latest def.
+    for (const ir::ValueId u : in.value_uses()) {
+      const auto d = last_def.find(u);
+      if (d != last_def.end()) add_edge(d->second, n);
+      uses_since_def[u].push_back(n);
+    }
+
+    if (ir::has_dst(in.op)) {
+      const ir::ValueId d = in.dst;
+      // WAW.
+      const auto pd = last_def.find(d);
+      if (pd != last_def.end()) add_edge(pd->second, n);
+      // WAR: all uses since the previous def precede this def.
+      for (const std::uint32_t u : uses_since_def[d]) add_edge(u, n);
+      uses_since_def[d].clear();
+      last_def[d] = n;
+    }
+
+    // Array ordering.
+    if (in.op == ir::Opcode::kLoad) {
+      const auto s = last_store.find(in.array);
+      if (s != last_store.end()) add_edge(s->second, n);
+      loads_since_store[in.array].push_back(n);
+    } else if (in.op == ir::Opcode::kStore) {
+      const auto s = last_store.find(in.array);
+      if (s != last_store.end()) add_edge(s->second, n);  // store-store
+      for (const std::uint32_t l : loads_since_store[in.array]) {
+        add_edge(l, n);  // load-store
+      }
+      loads_since_store[in.array].clear();
+      last_store[in.array] = n;
+    }
+
+    // Output ordering.
+    if (in.op == ir::Opcode::kPrint) {
+      if (last_output >= 0) {
+        add_edge(static_cast<std::uint32_t>(last_output), n);
+      }
+      last_output = static_cast<std::int64_t>(n);
+    }
+
+    // Terminator: after everything else in the block.
+    if (ir::is_terminator(in.op)) {
+      PARMEM_CHECK(n + 1 == ddg.count,
+                   "terminator must be the block's last instruction");
+      for (std::uint32_t m = 0; m < n; ++m) add_edge(m, n);
+    }
+  }
+
+  // Critical-path heights (reverse topological order == reverse program
+  // order, since all edges point forward).
+  ddg.height.assign(ddg.count, 1);
+  for (std::uint32_t n = ddg.count; n > 0; --n) {
+    const std::uint32_t i = n - 1;
+    for (const std::uint32_t s : ddg.succs[i]) {
+      ddg.height[i] = std::max(ddg.height[i], ddg.height[s] + 1);
+    }
+  }
+  return ddg;
+}
+
+}  // namespace parmem::sched

@@ -1,0 +1,40 @@
+// Intra-block data-dependence graphs.
+//
+// The list scheduler packs a basic block's TAC into long instruction words;
+// two operations may share a word only if neither depends on the other
+// (lock-step semantics: all reads of a word see pre-word state). Edges:
+//
+//   RAW  def(v) -> use(v)
+//   WAR  use(v) -> def(v)      (a later def may not enter the same word)
+//   WAW  def(v) -> def(v)
+//   array: load/store on the SAME array are ordered conservatively except
+//          load-load (no index analysis — run-time banks are the paper's
+//          Table 2 territory, not the compile-time problem);
+//   print/halt: totally ordered among themselves (program output order);
+//   terminator: after everything in the block.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/region.h"
+#include "ir/tac.h"
+
+namespace parmem::sched {
+
+/// Dependence graph over the instructions [first, last) of one basic block;
+/// node i corresponds to instruction first + i.
+struct BlockDdg {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+  /// succs[i]: nodes that must be scheduled strictly after node i.
+  std::vector<std::vector<std::uint32_t>> succs;
+  /// Number of unscheduled predecessors (used as the ready-set counter).
+  std::vector<std::uint32_t> pred_count;
+  /// Critical-path height (1 for sinks) — the scheduling priority.
+  std::vector<std::uint32_t> height;
+
+  static BlockDdg build(const ir::TacProgram& prog, const ir::Region& region);
+};
+
+}  // namespace parmem::sched

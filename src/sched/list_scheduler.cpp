@@ -1,0 +1,117 @@
+#include "sched/list_scheduler.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sched/ddg.h"
+#include "support/diagnostics.h"
+
+namespace parmem::sched {
+
+ir::LiwProgram schedule(const ir::TacProgram& prog, const SchedOptions& opts,
+                        SchedStats* stats) {
+  PARMEM_CHECK(opts.fu_count >= 1, "need at least one functional unit");
+  PARMEM_CHECK(opts.module_count >= 1, "need at least one memory module");
+
+  const ir::RegionGraph rg = ir::RegionGraph::build(prog);
+  ir::LiwProgram out;
+  out.name = prog.name;
+  out.values = prog.values;
+  out.arrays = prog.arrays;
+
+  // First word index of every region (for branch patching).
+  std::vector<std::uint32_t> region_start(rg.regions.size(), 0);
+
+  for (const ir::Region& region : rg.regions) {
+    region_start[region.id] = static_cast<std::uint32_t>(out.words.size());
+    BlockDdg ddg = BlockDdg::build(prog, region);
+
+    std::vector<bool> scheduled(ddg.count, false);
+    std::vector<std::uint32_t> remaining_preds = ddg.pred_count;
+    std::size_t left = ddg.count;
+
+    while (left > 0) {
+      // Ready ops, by descending height then program order.
+      std::vector<std::uint32_t> ready;
+      for (std::uint32_t n = 0; n < ddg.count; ++n) {
+        if (!scheduled[n] && remaining_preds[n] == 0) ready.push_back(n);
+      }
+      PARMEM_CHECK(!ready.empty(), "dependence cycle in a basic block");
+      if (opts.priority == SchedPriority::kCriticalPath) {
+        std::stable_sort(ready.begin(), ready.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           return ddg.height[a] > ddg.height[b];
+                         });
+      }  // kSourceOrder: the ready list is already in program order.
+
+      ir::LiwWord word;
+      word.region = region.id;
+      std::set<ir::ValueId> reads;
+      std::vector<std::uint32_t> taken;
+      bool has_terminator = false;
+
+      for (const std::uint32_t n : ready) {
+        if (word.ops.size() >= opts.fu_count) break;
+        const ir::TacInstr& in = prog.instrs[ddg.first + n];
+        if (ir::is_terminator(in.op)) {
+          // A terminator may only join a word if every other block op is
+          // already scheduled or joins this same word — its DDG preds
+          // enforce that; but it must also be the last slot.
+          if (has_terminator) continue;
+        }
+        // Module-count constraint on distinct scalar reads.
+        std::set<ir::ValueId> with = reads;
+        for (const ir::ValueId u : in.value_uses()) with.insert(u);
+        if (with.size() > opts.module_count) continue;
+
+        reads = std::move(with);
+        taken.push_back(n);
+        word.ops.push_back(in);
+        if (ir::is_terminator(in.op)) has_terminator = true;
+      }
+      PARMEM_CHECK(!taken.empty(), "scheduler made no progress");
+
+      // Keep the terminator in the final slot.
+      if (has_terminator) {
+        for (std::size_t s = 0; s + 1 < word.ops.size(); ++s) {
+          if (ir::is_terminator(word.ops[s].op)) {
+            std::swap(word.ops[s], word.ops.back());
+            break;
+          }
+        }
+      }
+
+      for (const std::uint32_t n : taken) {
+        scheduled[n] = true;
+        --left;
+        for (const std::uint32_t s : ddg.succs[n]) --remaining_preds[s];
+      }
+      out.words.push_back(std::move(word));
+    }
+  }
+
+  // Patch branch targets: instruction index -> region -> first word.
+  for (ir::LiwWord& word : out.words) {
+    for (ir::TacInstr& op : word.ops) {
+      if (ir::is_terminator(op.op) && op.op != ir::Opcode::kHalt) {
+        const ir::RegionId target_region = rg.region_of[op.target];
+        PARMEM_CHECK(prog.instrs[op.target].op != ir::Opcode::kNop ||
+                         true,
+                     "");
+        PARMEM_CHECK(rg.regions[target_region].first == op.target,
+                     "branch target must be a region leader");
+        op.target = region_start[target_region];
+      }
+    }
+  }
+
+  ir::validate_liw(out, opts.fu_count);
+  if (stats != nullptr) {
+    stats->words = out.words.size();
+    stats->ops = 0;
+    for (const ir::LiwWord& w : out.words) stats->ops += w.ops.size();
+  }
+  return out;
+}
+
+}  // namespace parmem::sched

@@ -1,0 +1,206 @@
+#include "sched/transfer_sched.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace parmem::sched {
+namespace {
+
+/// Modules a word's accesses may touch under `assignment` — conservative:
+/// every copy module of every read value, the primary (lowest) module of
+/// every written value, and both ports of any transfer already placed.
+std::uint32_t word_port_mask(const ir::LiwWord& word,
+                             const assign::AssignResult& a) {
+  std::uint32_t mask = 0;
+  for (const ir::TacInstr& op : word.ops) {
+    if (op.op == ir::Opcode::kXfer) {
+      mask |= 1u << op.xfer_src_module;
+      mask |= 1u << op.xfer_dst_module;
+      continue;
+    }
+    for (const ir::ValueId u : op.value_uses()) {
+      mask |= a.placement[u];
+    }
+    if (ir::has_dst(op.op) && a.placement[op.dst] != 0) {
+      mask |= assign::module_bit(assign::modules_of(a.placement[op.dst])[0]);
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+TransferStats schedule_transfers(ir::LiwProgram& prog,
+                                 const assign::AssignResult& assignment,
+                                 std::size_t fu_count) {
+  TransferStats stats;
+  const std::size_t nwords = prog.words.size();
+
+  // All defining words of every value. A value with several copies needs a
+  // refresh transfer after *every* definition — this is what keeps copies
+  // of mutable values consistent (the paper's single-assignment values have
+  // one defining word, so they get exactly one transfer per extra copy).
+  std::vector<std::vector<std::size_t>> def_words(prog.values.size());
+  for (std::size_t w = 0; w < nwords; ++w) {
+    for (const ir::TacInstr& op : prog.words[w].ops) {
+      if (ir::has_dst(op.op)) def_words[op.dst].push_back(w);
+    }
+  }
+
+  // End (exclusive) of each word's region in linear order.
+  std::vector<std::size_t> region_end(nwords, nwords);
+  for (std::size_t w = nwords; w > 0; --w) {
+    const std::size_t i = w - 1;
+    if (i + 1 < nwords && prog.words[i + 1].region == prog.words[i].region) {
+      region_end[i] = region_end[i + 1];
+    } else {
+      region_end[i] = i + 1;
+    }
+  }
+
+  // Pending transfers per value.
+  struct Pending {
+    ir::ValueId value;
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::size_t def_w;
+    std::size_t deadline;  // exclusive: must be placed in a word < deadline,
+                           // or in a new word inserted before it
+  };
+  std::vector<Pending> pending;
+
+  for (ir::ValueId v = 0; v < prog.values.size(); ++v) {
+    const assign::ModuleSet copies = assignment.placement[v];
+    if (assign::copy_count(copies) < 2) continue;
+    if (def_words[v].empty()) {
+      // Never defined by an op: an input preset in memory. All copies are
+      // preloaded with the initial image; nothing to schedule.
+      stats.preloaded_copies += assign::copy_count(copies) - 1;
+      continue;
+    }
+    const auto mods = assign::modules_of(copies);
+    const std::uint32_t primary = mods[0];
+
+    for (const std::size_t dw : def_words[v]) {
+      // Deadline: before the first later use in the defining block, and
+      // never past the block's end.
+      std::size_t deadline = region_end[dw];
+      for (std::size_t w = dw + 1; w < deadline; ++w) {
+        bool uses_v = false;
+        for (const ir::TacInstr& op : prog.words[w].ops) {
+          for (const ir::ValueId u : op.value_uses()) uses_v |= (u == v);
+        }
+        if (uses_v) {
+          deadline = w;
+          break;
+        }
+      }
+      for (std::size_t i = 1; i < mods.size(); ++i) {
+        pending.push_back({v, primary, mods[i], dw, deadline});
+      }
+    }
+  }
+
+  // Try to slot each pending transfer into an existing word inside its
+  // window (def_w, deadline).
+  std::vector<Pending> need_new_word;
+  for (const Pending& p : pending) {
+    bool placed = false;
+    for (std::size_t w = p.def_w + 1; w < p.deadline && !placed; ++w) {
+      ir::LiwWord& word = prog.words[w];
+      if (word.ops.size() >= fu_count) continue;
+      const std::uint32_t ports = word_port_mask(word, assignment);
+      if (ports & ((1u << p.src) | (1u << p.dst))) continue;
+
+      ir::TacInstr xfer;
+      xfer.op = ir::Opcode::kXfer;
+      xfer.a = ir::Operand::val(p.value);
+      xfer.xfer_src_module = p.src;
+      xfer.xfer_dst_module = p.dst;
+      // Keep any terminator in the last slot.
+      if (!word.ops.empty() && ir::is_terminator(word.ops.back().op)) {
+        word.ops.insert(word.ops.end() - 1, std::move(xfer));
+      } else {
+        word.ops.push_back(std::move(xfer));
+      }
+      ++stats.transfers;
+      placed = true;
+    }
+    if (!placed) need_new_word.push_back(p);
+  }
+
+  // Remaining transfers need new words inserted right after their defining
+  // word. Group by insertion point; pack compatibly.
+  std::map<std::size_t, std::vector<ir::LiwWord>> inserts;  // after index
+  for (const Pending& p : need_new_word) {
+    ir::TacInstr xfer;
+    xfer.op = ir::Opcode::kXfer;
+    xfer.a = ir::Operand::val(p.value);
+    xfer.xfer_src_module = p.src;
+    xfer.xfer_dst_module = p.dst;
+
+    auto& words = inserts[p.def_w];
+    bool placed = false;
+    for (ir::LiwWord& word : words) {
+      if (word.ops.size() >= fu_count) continue;
+      std::uint32_t ports = 0;
+      for (const ir::TacInstr& op : word.ops) {
+        ports |= (1u << op.xfer_src_module) | (1u << op.xfer_dst_module);
+      }
+      if (ports & ((1u << p.src) | (1u << p.dst))) continue;
+      word.ops.push_back(xfer);
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      ir::LiwWord word;
+      word.region = prog.words[p.def_w].region;
+      word.ops.push_back(xfer);
+      words.push_back(std::move(word));
+      ++stats.words_added;
+    }
+    ++stats.transfers;
+  }
+
+  if (!inserts.empty()) {
+    // If the defining word carries a terminator, the branch must move to
+    // the last inserted word (control leaves only after the transfers).
+    for (auto& [after, words] : inserts) {
+      ir::LiwWord& dw = prog.words[after];
+      if (!dw.ops.empty() && ir::is_terminator(dw.ops.back().op)) {
+        words.back().ops.push_back(dw.ops.back());
+        dw.ops.pop_back();
+        // An emptied defining word would be illegal; it cannot happen since
+        // it held at least the defining op plus the terminator.
+        PARMEM_CHECK(!dw.ops.empty(), "defining word emptied by move");
+      }
+    }
+
+    // Rebuild the word list and the old->new index map.
+    std::vector<ir::LiwWord> rebuilt;
+    std::vector<std::uint32_t> new_index(nwords, 0);
+    for (std::size_t w = 0; w < nwords; ++w) {
+      new_index[w] = static_cast<std::uint32_t>(rebuilt.size());
+      rebuilt.push_back(std::move(prog.words[w]));
+      const auto it = inserts.find(w);
+      if (it != inserts.end()) {
+        for (ir::LiwWord& nw : it->second) rebuilt.push_back(std::move(nw));
+      }
+    }
+    prog.words = std::move(rebuilt);
+    for (ir::LiwWord& word : prog.words) {
+      for (ir::TacInstr& op : word.ops) {
+        if (ir::is_terminator(op.op) && op.op != ir::Opcode::kHalt) {
+          op.target = new_index[op.target];
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace parmem::sched

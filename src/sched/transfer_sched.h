@@ -1,0 +1,39 @@
+// Compile-time scheduling of inter-module data transfers.
+//
+// The assignment phase may give a single-assignment value copies in several
+// modules. Physically, the defining operation writes one module (the
+// value's primary copy); every further copy is realized by an explicit
+// transfer operation — "multiple copies can be created by data transfers
+// among memory modules that are scheduled at compile-time" (§1). This pass
+// places one kXfer op per extra copy:
+//
+//   * in the defining word's block, after the definition;
+//   * in an existing word when a functional-unit slot is free and the
+//     transfer's two module ports are not used by that word's accesses
+//     under the current assignment;
+//   * otherwise in a freshly inserted word (costing one cycle).
+//
+// Values never defined by an op (e.g. inputs preset in memory) need no
+// transfer — all copies are preloaded, like initialized data.
+#pragma once
+
+#include <cstdint>
+
+#include "assign/assigner.h"
+#include "ir/liw.h"
+
+namespace parmem::sched {
+
+struct TransferStats {
+  std::size_t transfers = 0;       // kXfer ops inserted
+  std::size_t words_added = 0;     // new words that had to be created
+  std::size_t preloaded_copies = 0;  // copies of undefined (input) values
+};
+
+/// Inserts transfer ops into `prog` for every extra copy in `assignment`.
+/// `fu_count` bounds ops per word. Returns what was done.
+TransferStats schedule_transfers(ir::LiwProgram& prog,
+                                 const assign::AssignResult& assignment,
+                                 std::size_t fu_count);
+
+}  // namespace parmem::sched

@@ -1,0 +1,16 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace parmem::support {
+
+void internal_error(const char* file, int line, const char* expr,
+                    const std::string& message) {
+  std::ostringstream os;
+  os << "parmem internal error at " << file << ":" << line << ": check `"
+     << expr << "` failed";
+  if (!message.empty()) os << ": " << message;
+  throw InternalError(os.str());
+}
+
+}  // namespace parmem::support

@@ -1,0 +1,42 @@
+// Diagnostics: internal-error checking and user-facing error reporting.
+//
+// PARMEM_CHECK is an always-on invariant check (not compiled out in release
+// builds): the library's algorithms are heuristic and the cost of a check is
+// negligible next to the cost of silently producing a conflicting memory
+// assignment.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace parmem::support {
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on malformed user input (bad source program, bad configuration).
+class UserError : public std::runtime_error {
+ public:
+  explicit UserError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void internal_error(const char* file, int line, const char* expr,
+                                 const std::string& message);
+
+}  // namespace parmem::support
+
+/// Always-on invariant check. `msg` may be any expression convertible to
+/// std::string and is only evaluated on failure.
+#define PARMEM_CHECK(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::parmem::support::internal_error(__FILE__, __LINE__, #expr, (msg));   \
+    }                                                                        \
+  } while (false)
+
+#define PARMEM_UNREACHABLE(msg) \
+  ::parmem::support::internal_error(__FILE__, __LINE__, "unreachable", (msg))

@@ -1,0 +1,62 @@
+// Maximum bipartite matching (augmenting-path / Hungarian style).
+//
+// The library's central feasibility question — "can this instruction fetch
+// all of its operands in one memory cycle?" — is a system-of-distinct-
+// representatives (SDR) question: each operand must be read from one of the
+// modules holding a copy of it, and no two operands may read from the same
+// module. An SDR exists iff a perfect matching of operands into modules
+// exists (Hall's theorem). Instruction widths are tiny (k <= 8 in the paper)
+// so a simple Kuhn augmenting-path matcher is both adequate and fastest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace parmem::support {
+
+/// A bipartite matching instance: `left` items each carry a list of
+/// admissible `right` items (0-based ids, right ids < right_size).
+class BipartiteMatcher {
+ public:
+  /// @param right_size number of right-side items (e.g. memory modules).
+  explicit BipartiteMatcher(std::size_t right_size);
+
+  /// Adds a left item with the given admissible right ids; returns its index.
+  std::size_t add_left(std::vector<std::uint32_t> admissible);
+
+  /// Computes a maximum matching; returns its size.
+  std::size_t solve();
+
+  /// True iff every left item is matched (requires a prior solve()).
+  bool all_matched() const;
+
+  /// Right item matched to left item `l`, or nullopt if unmatched.
+  std::optional<std::uint32_t> match_of(std::size_t l) const;
+
+  std::size_t left_size() const { return adj_.size(); }
+  std::size_t right_size() const { return right_size_; }
+
+ private:
+  bool try_augment(std::size_t l, std::vector<bool>& visited);
+
+  std::size_t right_size_;
+  std::vector<std::vector<std::uint32_t>> adj_;   // left -> admissible rights
+  std::vector<std::int32_t> match_left_;          // left -> right or -1
+  std::vector<std::int32_t> match_right_;         // right -> left or -1
+  bool solved_ = false;
+};
+
+/// Convenience wrapper: true iff every set in `choices` can be assigned a
+/// distinct representative < right_size. This is the paper's conflict-freedom
+/// test for one instruction: choices[i] = modules holding a copy of operand i.
+bool has_distinct_representatives(
+    const std::vector<std::vector<std::uint32_t>>& choices,
+    std::size_t right_size);
+
+/// As above but returns the representatives (one per set) when they exist.
+std::optional<std::vector<std::uint32_t>> find_distinct_representatives(
+    const std::vector<std::vector<std::uint32_t>>& choices,
+    std::size_t right_size);
+
+}  // namespace parmem::support

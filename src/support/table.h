@@ -1,0 +1,42 @@
+// Plain-text table rendering for experiment reports.
+//
+// Every bench binary reproduces one of the paper's tables; this renderer
+// prints them in an aligned, monospace layout close to the paper's own.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parmem::support {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: a header row, data rows, per-column alignment.
+class TextTable {
+ public:
+  /// @param headers column titles; fixes the column count.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Sets alignment of column `col` (default is kRight for all but col 0).
+  void set_align(std::size_t col, Align align);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders with single-space-padded columns and +---+ rules.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+  std::vector<Align> aligns_;
+};
+
+/// Formats a double with fixed precision (helper for ratio columns).
+std::string format_fixed(double value, int digits);
+
+}  // namespace parmem::support

@@ -1,0 +1,62 @@
+#include "workloads/stream_gen.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace parmem::workloads {
+
+ir::AccessStream random_stream(const StreamGenOptions& opts,
+                               support::SplitMix64& rng) {
+  PARMEM_CHECK(opts.value_count >= 2, "need at least two values");
+  PARMEM_CHECK(opts.min_width >= 1 && opts.min_width <= opts.max_width,
+               "bad width range");
+
+  const std::size_t max_w = std::min(opts.max_width, opts.value_count);
+  const std::size_t min_w = std::min(opts.min_width, max_w);
+
+  std::vector<std::vector<ir::ValueId>> tuples;
+  tuples.reserve(opts.tuple_count);
+  for (std::size_t t = 0; t < opts.tuple_count; ++t) {
+    const std::size_t w =
+        min_w + static_cast<std::size_t>(rng.below(max_w - min_w + 1));
+
+    // Value pool: either the whole space or a sliding locality window.
+    std::size_t lo = 0, span = opts.value_count;
+    if (opts.locality_window >= w && opts.locality_window < opts.value_count) {
+      span = opts.locality_window;
+      // Window slides with t so nearby instructions share values.
+      lo = (t * (opts.value_count - span)) /
+           std::max<std::size_t>(opts.tuple_count - 1, 1);
+    }
+
+    std::vector<ir::ValueId> ops;
+    while (ops.size() < w) {
+      const auto v = static_cast<ir::ValueId>(lo + rng.below(span));
+      if (std::find(ops.begin(), ops.end(), v) == ops.end()) ops.push_back(v);
+    }
+    tuples.push_back(std::move(ops));
+  }
+
+  ir::AccessStream s =
+      ir::AccessStream::from_tuples(opts.value_count, std::move(tuples));
+
+  // Contiguous region blocks; values seen in more than one region become
+  // global.
+  std::vector<ir::RegionId> first_region(opts.value_count, ir::kNoRegion);
+  for (std::size_t t = 0; t < s.tuples.size(); ++t) {
+    const auto r = static_cast<ir::RegionId>(
+        t * opts.region_count / std::max<std::size_t>(s.tuples.size(), 1));
+    s.tuples[t].region = r;
+    for (const ir::ValueId v : s.tuples[t].operands) {
+      if (first_region[v] == ir::kNoRegion) {
+        first_region[v] = r;
+      } else if (first_region[v] != r) {
+        s.global[v] = true;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace parmem::workloads

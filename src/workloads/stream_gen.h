@@ -1,0 +1,32 @@
+// Synthetic access-stream generators for stress tests and scaling benches.
+//
+// Real programs give Table 1 its shape; these generators give the scaling
+// benches controllable knobs: value count, instruction count, operand
+// width, region structure, and conflict density.
+#pragma once
+
+#include <cstddef>
+
+#include "ir/access.h"
+#include "support/rng.h"
+
+namespace parmem::workloads {
+
+struct StreamGenOptions {
+  std::size_t value_count = 64;
+  std::size_t tuple_count = 128;
+  std::size_t min_width = 2;
+  std::size_t max_width = 4;   // capped at value_count
+  std::size_t region_count = 1;
+  /// Locality: each tuple draws values from a sliding window of this size
+  /// over the value space (0 = global uniform). Small windows produce the
+  /// clique-separator structure §2.1's atom decomposition exploits.
+  std::size_t locality_window = 0;
+};
+
+/// Generates a random stream; all values duplicable, contiguous region
+/// blocks, cross-region values marked global.
+ir::AccessStream random_stream(const StreamGenOptions& opts,
+                               support::SplitMix64& rng);
+
+}  // namespace parmem::workloads

@@ -1,0 +1,425 @@
+#include "workloads/workloads.h"
+
+#include "support/diagnostics.h"
+
+namespace parmem::workloads {
+namespace {
+
+// ---------------------------------------------------------------------
+// TAYLOR1: Taylor coefficients of the complex analytic function
+// f(z) = exp(c z), c = 0.8 + 0.6i, via the recurrence a_n = a_{n-1} c / n,
+// followed by a complex Horner evaluation of the partial sum.
+// ---------------------------------------------------------------------
+const char* kTaylor1 = R"mc(
+# TAYLOR1 - Taylor coefficients of a complex analytic function.
+func main() {
+  array are: real[12];
+  array aim: real[12];
+  var cre: real = 0.8;
+  var cim: real = 0.6;
+  are[0] = 1.0;
+  aim[0] = 0.0;
+  var n: int;
+  for n = 1 to 11 {
+    var pre: real = are[n - 1] * cre - aim[n - 1] * cim;
+    var pim: real = are[n - 1] * cim + aim[n - 1] * cre;
+    are[n] = pre / real(n);
+    aim[n] = pim / real(n);
+  }
+
+  # Evaluate the truncated series at z = 0.5 - 0.25i with complex Horner.
+  var zre: real = 0.5;
+  var zim: real = -0.25;
+  var sre: real = 0.0;
+  var sim: real = 0.0;
+  var i: int;
+  for i = 0 to 11 {
+    var j: int = 11 - i;
+    var tre: real = sre * zre - sim * zim + are[j];
+    var tim: real = sre * zim + sim * zre + aim[j];
+    sre = tre;
+    sim = tim;
+  }
+  print(sre);
+  print(sim);
+  print(are[5]);
+  print(aim[5]);
+}
+)mc";
+
+// ---------------------------------------------------------------------
+// TAYLOR2: Taylor coefficients of the real analytic function
+// g(x) = exp(x) sin(x), via the Cauchy product of the two series.
+// ---------------------------------------------------------------------
+const char* kTaylor2 = R"mc(
+# TAYLOR2 - Taylor coefficients of a real analytic function.
+func main() {
+  array e: real[14];
+  array s: real[14];
+  array g: real[14];
+
+  # exp(x): e_n = 1/n!; sin(x): s_n = 0, 1, 0, -1/6, ...
+  e[0] = 1.0;
+  s[0] = 0.0;
+  var n: int;
+  for n = 1 to 13 {
+    e[n] = e[n - 1] / real(n);
+    var m: int = n % 2;
+    if (m == 0) {
+      s[n] = 0.0;
+    } else {
+      # s_n = (-1)^((n-1)/2) / n!
+      var half: int = (n - 1) / 2;
+      var sign: real = 1.0;
+      if (half % 2 == 1) { sign = -1.0; }
+      s[n] = sign * e[n];
+    }
+  }
+
+  # Cauchy product g_n = sum_{k=0..n} e_k * s_{n-k}.
+  for n = 0 to 13 {
+    var acc: real = 0.0;
+    var k: int;
+    for k = 0 to n {
+      acc = acc + e[k] * s[n - k];
+    }
+    g[n] = acc;
+  }
+  print(g[1]);
+  print(g[2]);
+  print(g[3]);
+  print(g[5]);
+  print(g[7]);
+}
+)mc";
+
+// ---------------------------------------------------------------------
+// EXACT: exact solution of an integer linear system by residue (modular)
+// arithmetic - Cramer's rule over several primes combined by the Chinese
+// remainder theorem. The system A x = b has solution x = (1, 2, 3).
+// ---------------------------------------------------------------------
+const char* kExact = R"mc(
+# EXACT - linear equations by residue arithmetic (Cramer + CRT).
+func norm(x: int, p: int): int {
+  return ((x % p) + p) % p;
+}
+
+func powmod(a: int, e: int, p: int): int {
+  var r: int = 1;
+  var base: int = ((a % p) + p) % p;
+  var k: int = e;
+  while (k > 0) {
+    if (k % 2 == 1) {
+      r = (r * base) % p;
+    }
+    base = (base * base) % p;
+    k = k / 2;
+  }
+  return r;
+}
+
+func det3(a11: int, a12: int, a13: int,
+          a21: int, a22: int, a23: int,
+          a31: int, a32: int, a33: int, p: int): int {
+  var d: int = a11 * (a22 * a33 - a23 * a32)
+             - a12 * (a21 * a33 - a23 * a31)
+             + a13 * (a21 * a32 - a22 * a31);
+  return norm(d, p);
+}
+
+func main() {
+  # A = [[2,1,1],[1,3,2],[1,0,2]], b = (7,13,7); x = (1,2,3).
+  array primes: int[3];
+  primes[0] = 101;
+  primes[1] = 103;
+  primes[2] = 107;
+
+  array x0: int[3];  # residue of x_0 per prime
+  array x1: int[3];
+  array x2: int[3];
+
+  var t: int;
+  for t = 0 to 2 {
+    var p: int = primes[t];
+    var d: int = det3(2, 1, 1, 1, 3, 2, 1, 0, 2, p);
+    var dinv: int = powmod(d, p - 2, p);
+    # Cramer numerators: replace each column by b.
+    var d0: int = det3(7, 1, 1, 13, 3, 2, 7, 0, 2, p);
+    var d1: int = det3(2, 7, 1, 1, 13, 2, 1, 7, 2, p);
+    var d2: int = det3(2, 1, 7, 1, 3, 13, 1, 0, 7, p);
+    x0[t] = (d0 * dinv) % p;
+    x1[t] = (d1 * dinv) % p;
+    x2[t] = (d2 * dinv) % p;
+  }
+
+  # CRT-combine each component and map to the symmetric range.
+  var comp: int;
+  for comp = 0 to 2 {
+    var x: int;
+    if (comp == 0) { x = x0[0]; }
+    else { if (comp == 1) { x = x1[0]; } else { x = x2[0]; } }
+    var bigm: int = primes[0];
+    var j: int;
+    for j = 1 to 2 {
+      var p: int = primes[j];
+      var r: int;
+      if (comp == 0) { r = x0[j]; }
+      else { if (comp == 1) { r = x1[j]; } else { r = x2[j]; } }
+      var minv: int = powmod(bigm % p, p - 2, p);
+      var diff: int = norm(r - x, p);
+      var tt: int = (diff * minv) % p;
+      x = x + bigm * tt;
+      bigm = bigm * p;
+    }
+    if (x > bigm / 2) {
+      x = x - bigm;
+    }
+    print(x);
+  }
+}
+)mc";
+
+// ---------------------------------------------------------------------
+// FFT: iterative radix-2 decimation-in-time FFT, size 16, on a cosine
+// test signal; prints selected spectral magnitudes (squared).
+// ---------------------------------------------------------------------
+const char* kFft = R"mc(
+# FFT - radix-2 iterative fast Fourier transform, N = 16.
+func main() {
+  array re: real[16];
+  array im: real[16];
+  var pi: real = 3.14159265358979;
+  var n: int = 16;
+
+  # Test signal: x[t] = cos(2 pi 3 t / N) + 0.5; peak expected at bin 3.
+  var t: int;
+  for t = 0 to 15 {
+    re[t] = cos(2.0 * pi * 3.0 * real(t) / real(n)) + 0.5;
+    im[t] = 0.0;
+  }
+
+  # Bit-reversal permutation (4 bits).
+  for t = 0 to 15 {
+    var rev: int = 0;
+    var v: int = t;
+    var b: int;
+    for b = 0 to 3 {
+      rev = rev * 2 + v % 2;
+      v = v / 2;
+    }
+    if (rev > t) {
+      var tmpr: real = re[t];
+      var tmpi: real = im[t];
+      re[t] = re[rev];
+      im[t] = im[rev];
+      re[rev] = tmpr;
+      im[rev] = tmpi;
+    }
+  }
+
+  # Butterflies: stages len = 2, 4, 8, 16.
+  var len: int = 2;
+  while (len <= n) {
+    var half: int = len / 2;
+    var start: int = 0;
+    while (start < n) {
+      var j: int;
+      for j = 0 to half - 1 {
+        var ang: real = -2.0 * pi * real(j) / real(len);
+        var wr: real = cos(ang);
+        var wi: real = sin(ang);
+        var i1: int = start + j;
+        var i2: int = start + j + half;
+        var xr: real = re[i2] * wr - im[i2] * wi;
+        var xi: real = re[i2] * wi + im[i2] * wr;
+        re[i2] = re[i1] - xr;
+        im[i2] = im[i1] - xi;
+        re[i1] = re[i1] + xr;
+        im[i1] = im[i1] + xi;
+      }
+      start = start + len;
+    }
+    len = len * 2;
+  }
+
+  # Squared magnitudes of bins 0..4.
+  var b2: int;
+  for b2 = 0 to 4 {
+    print(re[b2] * re[b2] + im[b2] * im[b2]);
+  }
+}
+)mc";
+
+// ---------------------------------------------------------------------
+// SORT: iterative quicksort (explicit stack, Lomuto partition) over 32
+// pseudo-random values from a linear congruential generator.
+// ---------------------------------------------------------------------
+const char* kSort = R"mc(
+# SORT - quicksort with an explicit stack.
+func main() {
+  array a: int[32];
+  array stlo: int[32];
+  array sthi: int[32];
+  var n: int = 32;
+
+  # LCG fill.
+  var seed: int = 12345;
+  var i: int;
+  for i = 0 to 31 {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    a[i] = seed % 1000;
+  }
+
+  var top: int = 0;
+  stlo[0] = 0;
+  sthi[0] = n - 1;
+  while (top >= 0) {
+    var lo: int = stlo[top];
+    var hi: int = sthi[top];
+    top = top - 1;
+    if (lo < hi) {
+      # Lomuto partition, pivot = a[hi].
+      var pivot: int = a[hi];
+      var p: int = lo;
+      var j: int;
+      for j = lo to hi - 1 {
+        if (a[j] < pivot) {
+          var tmp: int = a[j];
+          a[j] = a[p];
+          a[p] = tmp;
+          p = p + 1;
+        }
+      }
+      var tmp2: int = a[hi];
+      a[hi] = a[p];
+      a[p] = tmp2;
+
+      top = top + 1;
+      stlo[top] = lo;
+      sthi[top] = p - 1;
+      top = top + 1;
+      stlo[top] = p + 1;
+      sthi[top] = hi;
+    }
+  }
+
+  for i = 0 to 31 {
+    print(a[i]);
+  }
+}
+)mc";
+
+// ---------------------------------------------------------------------
+// COLOR: the paper's own experiment includes "the graph coloring algorithm
+// presented in this paper" - a weighted greedy coloring in the spirit of
+// Fig. 4: color vertices in order of decreasing conflict weight; a vertex
+// whose neighbors exhaust the k colors is removed (V_unassigned).
+// ---------------------------------------------------------------------
+const char* kColor = R"mc(
+# COLOR - greedy conflict-graph coloring (simplified Fig. 4).
+func main() {
+  var n: int = 8;
+  var k: int = 3;
+  array adj: int[64];     # adjacency matrix, row-major
+  array deg: int[8];
+  array color: int[8];    # -1 = uncolored, -2 = removed
+  array done: int[8];
+
+  # Build a graph: wheel-like pattern plus a chord.
+  var i: int;
+  var j: int;
+  for i = 0 to 63 {
+    adj[i] = 0;
+  }
+  for i = 0 to 6 {
+    adj[i * 8 + (i + 1)] = 1;      # path 0-1-...-7
+    adj[(i + 1) * 8 + i] = 1;
+  }
+  for i = 1 to 6 {
+    adj[0 * 8 + i] = 1;            # hub 0 adjacent to 1..6
+    adj[i * 8 + 0] = 1;
+  }
+  adj[2 * 8 + 5] = 1;              # chord 2-5
+  adj[5 * 8 + 2] = 1;
+
+  for i = 0 to 7 {
+    var d: int = 0;
+    for j = 0 to 7 {
+      d = d + adj[i * 8 + j];
+    }
+    deg[i] = d;
+    color[i] = -1;
+    done[i] = 0;
+  }
+
+  var removed: int = 0;
+  var step: int;
+  for step = 0 to 7 {
+    # Pick the undone vertex with max (colored-neighbor count, degree).
+    # Comparisons evaluate to 0/1 ints, so the counting loops are written
+    # branch-free, FORTRAN-style: long straight-line bodies pack well.
+    var best: int = -1;
+    var bestkey: int = -1;
+    for i = 0 to 7 {
+      var cn: int = 0;
+      for j = 0 to 7 {
+        cn = cn + adj[i * 8 + j] * (color[j] >= 0);
+      }
+      var key: int = cn * 16 + deg[i];
+      var take: int = (done[i] == 0) * (key > bestkey);
+      bestkey = take * key + (1 - take) * bestkey;
+      best = take * i + (1 - take) * best;
+    }
+
+    # Smallest color unused by best's neighbors.
+    var c: int;
+    var chosen: int = -1;
+    for c = 0 to 2 {
+      var used: int = 0;
+      for j = 0 to 7 {
+        used = used + adj[best * 8 + j] * (color[j] == c);
+      }
+      var pick: int = (chosen == -1) * (used == 0);
+      chosen = pick * c + (1 - pick) * chosen;
+    }
+    if (chosen >= 0) {
+      color[best] = chosen;
+    } else {
+      color[best] = -2;
+      removed = removed + 1;
+    }
+    done[best] = 1;
+  }
+
+  for i = 0 to 7 {
+    print(color[i]);
+  }
+  print(removed);
+  print(k);
+}
+)mc";
+
+}  // namespace
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> kAll{
+      {"TAYLOR1", "Taylor coefficients of a complex analytic function",
+       kTaylor1},
+      {"TAYLOR2", "Taylor coefficients of a real analytic function",
+       kTaylor2},
+      {"EXACT", "linear equations via residue arithmetic", kExact},
+      {"FFT", "radix-2 fast Fourier transform", kFft},
+      {"SORT", "quicksort with an explicit stack", kSort},
+      {"COLOR", "the paper's graph coloring heuristic", kColor},
+  };
+  return kAll;
+}
+
+const Workload& workload(const std::string& name) {
+  for (const Workload& w : all_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw support::UserError("unknown workload '" + name + "'");
+}
+
+}  // namespace parmem::workloads

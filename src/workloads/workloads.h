@@ -1,0 +1,32 @@
+// The paper's six benchmark programs (§3), re-derived in MC.
+//
+// "The test cases include programs to compute Taylor coefficients for
+// complex (TAYLOR1) and real (TAYLOR2) analytic functions, solve a set of
+// linear equations using residue arithmetic (EXACT), fast Fourier transform
+// (FFT), sorting using quicksort (SORT) and the graph coloring algorithm
+// (COLOR) presented in this paper."
+//
+// The original FORTRAN-dialect sources are lost; these are the same
+// algorithms at laptop-test sizes. What Table 1 measures — the mix of
+// scalars and temporaries fetched together by packed long instructions —
+// depends on the algorithm structure, not the problem size.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parmem::workloads {
+
+struct Workload {
+  std::string name;
+  std::string description;
+  std::string source;  // MC program text
+};
+
+/// TAYLOR1, TAYLOR2, EXACT, FFT, SORT, COLOR — in the paper's order.
+const std::vector<Workload>& all_workloads();
+
+/// Lookup by name; throws support::UserError for unknown names.
+const Workload& workload(const std::string& name);
+
+}  // namespace parmem::workloads

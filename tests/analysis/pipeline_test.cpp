@@ -1,0 +1,112 @@
+#include "analysis/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace parmem::analysis {
+namespace {
+
+PipelineOptions defaults() {
+  PipelineOptions o;
+  o.sched.fu_count = 8;
+  o.sched.module_count = 8;
+  o.assign.module_count = 8;
+  return o;
+}
+
+TEST(Pipeline, CompilesAndVerifiesCleanly) {
+  const auto c = compile_mc(
+      "func main() { var a: int = 3; var b: int = 4; print(a * a + b * b); "
+      "}",
+      defaults());
+  EXPECT_TRUE(c.verify.ok());
+  EXPECT_GT(c.sched_stats.words, 0u);
+  EXPECT_EQ(c.assignment.module_count, 8u);
+}
+
+TEST(Pipeline, StrategiesAllVerify) {
+  const char* src =
+      "func main() {\n"
+      "  var s: int = 0; var p: int = 1; var i: int;\n"
+      "  for i = 1 to 12 { s = s + i; p = (p * i) % 1000; }\n"
+      "  print(s); print(p);\n"
+      "}\n";
+  for (const auto strat : {assign::Strategy::kStor1, assign::Strategy::kStor2,
+                           assign::Strategy::kStor3}) {
+    auto o = defaults();
+    o.assign.strategy = strat;
+    const auto c = compile_mc(src, o);
+    EXPECT_TRUE(c.verify.ok()) << assign::strategy_name(strat);
+    machine::MachineConfig cfg;
+    cfg.module_count = 8;
+    const auto pair = run_and_check(c, cfg);
+    EXPECT_EQ(pair.liw.output, (std::vector<std::string>{"78", "600"}))
+        << assign::strategy_name(strat);
+  }
+}
+
+TEST(Pipeline, RenameExtensionPreservesSemantics) {
+  const char* src =
+      "func main() { var x: int = 1; x = x + 3; x = x * 5; x = x - 2; "
+      "print(x); }";
+  auto plain = defaults();
+  auto renamed = defaults();
+  renamed.rename = true;
+  const auto c1 = compile_mc(src, plain);
+  const auto c2 = compile_mc(src, renamed);
+  EXPECT_GT(c2.rename_stats.definitions_renamed, 0u);
+  machine::MachineConfig cfg;
+  cfg.module_count = 8;
+  EXPECT_EQ(run_and_check(c1, cfg).liw.output,
+            run_and_check(c2, cfg).liw.output);
+}
+
+TEST(Pipeline, TransfersExecuteWhenValuesAreDuplicated) {
+  // Force heavy conflicts with a narrow machine so duplication kicks in.
+  auto o = defaults();
+  o.sched.fu_count = 4;
+  o.sched.module_count = 3;
+  o.assign.module_count = 3;
+  const auto c = compile_mc(
+      "func main() {\n"
+      "  var a: int = 1; var b: int = 2; var c: int = 3; var d: int = 4;\n"
+      "  var e: int = 5; var f: int = 6;\n"
+      "  print(a + b + c); print(b + d + e); print(a + d + f);\n"
+      "  print(c + e + f); print(a + e + f); print(b + c + f);\n"
+      "}\n",
+      o);
+  EXPECT_TRUE(c.verify.ok());
+  machine::MachineConfig cfg;
+  cfg.module_count = 3;
+  cfg.fu_count = 8;
+  const auto pair = run_and_check(c, cfg);
+  EXPECT_EQ(pair.liw.output,
+            (std::vector<std::string>{"6", "11", "11", "14", "12", "11"}));
+  if (c.assignment.stats.multi_copy > 0) {
+    EXPECT_GT(pair.liw.transfers_executed + c.transfer_stats.preloaded_copies,
+              0u);
+  }
+}
+
+TEST(Pipeline, BadSourceRaisesUserError) {
+  EXPECT_THROW(compile_mc("func main() { x = 1; }", defaults()),
+               support::UserError);
+  EXPECT_THROW(compile_mc("not a program", defaults()), support::UserError);
+}
+
+TEST(Pipeline, IncludeWritesWidensTheStream) {
+  const char* src =
+      "func main() { var a: int = 1; var b: int = 2; print(a + b); }";
+  auto o1 = defaults();
+  auto o2 = defaults();
+  o2.include_writes = true;
+  const auto c1 = compile_mc(src, o1);
+  const auto c2 = compile_mc(src, o2);
+  std::size_t w1 = 0, w2 = 0;
+  for (const auto& t : c1.stream.tuples) w1 += t.operands.size();
+  for (const auto& t : c2.stream.tuples) w2 += t.operands.size();
+  EXPECT_GT(w2, w1);
+  EXPECT_TRUE(c2.verify.ok());
+}
+
+}  // namespace
+}  // namespace parmem::analysis

@@ -1,0 +1,136 @@
+#include "assign/assigner.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/verify.h"
+
+namespace parmem::assign {
+namespace {
+
+using ir::AccessStream;
+
+TEST(Assigner, EmptyStream) {
+  AccessStream s;
+  s.value_count = 0;
+  const auto r = assign_modules(s, {});
+  EXPECT_EQ(r.stats.values_used, 0u);
+  EXPECT_TRUE(verify_assignment(s, r).ok());
+}
+
+TEST(Assigner, SingleValueGetsOneCopy) {
+  const auto s = AccessStream::from_tuples(1, {{0}});
+  const auto r = assign_modules(s, {});
+  EXPECT_EQ(r.stats.values_used, 1u);
+  EXPECT_EQ(r.stats.single_copy, 1u);
+  EXPECT_TRUE(verify_assignment(s, r).ok());
+}
+
+TEST(Assigner, DisjointPairsShareNoModulePressure) {
+  const auto s = AccessStream::from_tuples(6, {{0, 1}, {2, 3}, {4, 5}});
+  AssignOptions o;
+  o.module_count = 2;
+  const auto r = assign_modules(s, o);
+  EXPECT_TRUE(verify_assignment(s, r).ok());
+  EXPECT_EQ(r.stats.multi_copy, 0u);
+}
+
+TEST(Assigner, Stor2UsesRegionStructure) {
+  // Values 0,1 are global (appear in both regions); 2..5 are local.
+  AccessStream s = AccessStream::from_tuples(
+      6, {{0, 1, 2}, {0, 2, 3}, {1, 4, 5}, {0, 1, 4}});
+  s.tuples[0].region = 0;
+  s.tuples[1].region = 0;
+  s.tuples[2].region = 1;
+  s.tuples[3].region = 1;
+  s.global[0] = s.global[1] = true;
+  AssignOptions o;
+  o.module_count = 4;
+  o.strategy = Strategy::kStor2;
+  const auto r = assign_modules(s, o);
+  EXPECT_TRUE(verify_assignment(s, r).ok());
+}
+
+TEST(Assigner, Stor3WindowsKeepEarlierBindings) {
+  const auto s = AccessStream::from_tuples(
+      6, {{0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {3, 4, 5}});
+  AssignOptions o;
+  o.module_count = 4;
+  o.strategy = Strategy::kStor3;
+  o.stor3_windows = 2;
+  const auto r = assign_modules(s, o);
+  EXPECT_TRUE(verify_assignment(s, r).ok());
+}
+
+TEST(Assigner, Stor3MoreWindowsStillConflictFree) {
+  const auto s = AccessStream::from_tuples(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}});
+  for (const std::size_t w : {1u, 2u, 3u, 4u, 8u}) {
+    AssignOptions o;
+    o.module_count = 3;
+    o.strategy = Strategy::kStor3;
+    o.stor3_windows = w;
+    const auto r = assign_modules(s, o);
+    EXPECT_TRUE(verify_assignment(s, r).ok()) << "windows=" << w;
+  }
+}
+
+TEST(Assigner, NonDuplicatableValuesAreNeverReplicated) {
+  AccessStream s = AccessStream::from_tuples(
+      4, {{0, 1, 2}, {1, 2, 3}, {0, 2, 3}, {0, 1, 3}});
+  s.duplicatable.assign(4, false);
+  AssignOptions o;
+  o.module_count = 3;
+  const auto r = assign_modules(s, o);
+  const auto report = verify_assignment(s, r);
+  EXPECT_TRUE(report.illegal_duplicates.empty());
+  // K4 into 3 modules without duplication must leave residual conflicts.
+  EXPECT_FALSE(report.conflicting_tuples.empty());
+  EXPECT_EQ(r.stats.residual_conflict_tuples,
+            report.conflicting_tuples.size());
+  EXPECT_GE(r.stats.forced, 1u);
+}
+
+TEST(Assigner, MixedDuplicatabilityResolvesViaTheFlexibleValue) {
+  AccessStream s = AccessStream::from_tuples(
+      4, {{0, 1, 2}, {1, 2, 3}, {0, 2, 3}, {0, 1, 3}});
+  s.duplicatable = {false, false, false, true};
+  AssignOptions o;
+  o.module_count = 3;
+  const auto r = assign_modules(s, o);
+  const auto report = verify_assignment(s, r);
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(copy_count(r.placement[3]), 1u);
+}
+
+TEST(Assigner, DeterministicForFixedSeed) {
+  const auto s = AccessStream::from_tuples(
+      6, {{0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {3, 4, 5}, {0, 4, 5}});
+  AssignOptions o;
+  o.module_count = 3;
+  o.seed = 99;
+  const auto r1 = assign_modules(s, o);
+  const auto r2 = assign_modules(s, o);
+  EXPECT_EQ(r1.placement, r2.placement);
+}
+
+TEST(Assigner, StatsAreConsistent) {
+  const auto s = AccessStream::from_tuples(
+      5, {{0, 1, 2}, {1, 2, 3}, {0, 2, 3}, {0, 2, 4}, {1, 2, 4}, {0, 3, 4}});
+  AssignOptions o;
+  o.module_count = 3;
+  const auto r = assign_modules(s, o);
+  EXPECT_EQ(r.stats.single_copy + r.stats.multi_copy, r.stats.values_used);
+  std::size_t copies = 0;
+  for (const ModuleSet m : r.placement) copies += copy_count(m);
+  EXPECT_EQ(copies, r.stats.total_copies);
+}
+
+TEST(Assigner, RejectsBadOptions) {
+  const auto s = AccessStream::from_tuples(2, {{0, 1}});
+  AssignOptions o;
+  o.module_count = 0;
+  EXPECT_THROW(assign_modules(s, o), support::InternalError);
+}
+
+}  // namespace
+}  // namespace parmem::assign

@@ -1,0 +1,76 @@
+#include "assign/conflict_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace parmem::assign {
+namespace {
+
+using ir::AccessStream;
+
+TEST(ConflictGraph, EdgesJoinCoOccurringValues) {
+  const auto s = AccessStream::from_tuples(5, {{0, 1, 3}, {1, 2, 4}});
+  const auto cg = ConflictGraph::build(s);
+  EXPECT_EQ(cg.vertex_count(), 5u);
+  const auto vx = [&](ir::ValueId v) {
+    return static_cast<graph::Vertex>(cg.vertex_of(v));
+  };
+  EXPECT_TRUE(cg.graph().has_edge(vx(0), vx(1)));
+  EXPECT_TRUE(cg.graph().has_edge(vx(1), vx(4)));
+  EXPECT_FALSE(cg.graph().has_edge(vx(0), vx(2)));
+  EXPECT_FALSE(cg.graph().has_edge(vx(3), vx(4)));
+}
+
+TEST(ConflictGraph, ConfCountsInstructions) {
+  const auto s =
+      AccessStream::from_tuples(3, {{0, 1}, {0, 1}, {0, 1, 2}, {1, 2}});
+  const auto cg = ConflictGraph::build(s);
+  const auto vx = [&](ir::ValueId v) {
+    return static_cast<graph::Vertex>(cg.vertex_of(v));
+  };
+  EXPECT_EQ(cg.conf(vx(0), vx(1)), 3u);
+  EXPECT_EQ(cg.conf(vx(1), vx(2)), 2u);
+  EXPECT_EQ(cg.conf(vx(0), vx(2)), 1u);
+  EXPECT_EQ(cg.conf_sum(vx(1)), 5u);
+}
+
+TEST(ConflictGraph, UnusedValuesGetNoVertex) {
+  const auto s = AccessStream::from_tuples(10, {{2, 7}});
+  const auto cg = ConflictGraph::build(s);
+  EXPECT_EQ(cg.vertex_count(), 2u);
+  EXPECT_EQ(cg.vertex_of(0), -1);
+  EXPECT_GE(cg.vertex_of(2), 0);
+}
+
+TEST(ConflictGraph, ValueMaskFiltersOperands) {
+  auto s = AccessStream::from_tuples(4, {{0, 1, 2}, {2, 3}});
+  StreamView view;
+  view.value_mask.assign(4, false);
+  view.value_mask[0] = view.value_mask[2] = true;
+  const auto cg = ConflictGraph::build(s, view);
+  EXPECT_EQ(cg.vertex_count(), 2u);
+  EXPECT_EQ(cg.conf(static_cast<graph::Vertex>(cg.vertex_of(0)),
+                    static_cast<graph::Vertex>(cg.vertex_of(2))),
+            1u);
+}
+
+TEST(ConflictGraph, TupleIndicesSelectWindow) {
+  auto s = AccessStream::from_tuples(4, {{0, 1}, {2, 3}});
+  StreamView view;
+  view.tuple_indices = {1};
+  const auto cg = ConflictGraph::build(s, view);
+  EXPECT_EQ(cg.vertex_count(), 2u);
+  EXPECT_EQ(cg.vertex_of(0), -1);
+  EXPECT_GE(cg.vertex_of(3), 0);
+}
+
+TEST(ConflictGraph, RepeatedOperandsCollapse) {
+  // from_tuples dedupes {1,1,2} into {1,2}.
+  const auto s = AccessStream::from_tuples(3, {{1, 1, 2}});
+  ASSERT_EQ(s.tuples.size(), 1u);
+  EXPECT_EQ(s.tuples[0].operands.size(), 2u);
+  const auto cg = ConflictGraph::build(s);
+  EXPECT_EQ(cg.graph().edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace parmem::assign

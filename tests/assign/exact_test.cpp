@@ -1,0 +1,133 @@
+#include "assign/exact.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "assign/assigner.h"
+#include "assign/verify.h"
+#include "support/rng.h"
+
+namespace parmem::assign {
+namespace {
+
+using ir::AccessStream;
+
+TEST(ExactMinCopies, SinglesWhenColorable) {
+  // Fig. 1: a conflict-free single-copy allocation exists -> optimum is 5.
+  const auto s = AccessStream::from_tuples(
+      5, {{0, 1, 3}, {1, 2, 4}, {1, 2, 3}});
+  const auto opt = exact_min_copies(s, 3);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(opt->total_copies, 5u);
+}
+
+TEST(ExactMinCopies, Fig1ExtendedNeedsSix) {
+  const auto s = AccessStream::from_tuples(
+      5, {{0, 1, 3}, {1, 2, 4}, {1, 2, 3}, {1, 3, 4}});
+  const auto opt = exact_min_copies(s, 3);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(opt->total_copies, 6u);  // paper: one extra copy of V5
+}
+
+TEST(ExactMinCopies, Fig3OptimumIsSeven) {
+  // The paper's good solution (remove {V2, V5}, two copies each).
+  const auto s = AccessStream::from_tuples(
+      5, {{0, 1, 2}, {1, 2, 3}, {0, 2, 3}, {0, 2, 4}, {1, 2, 4}, {0, 3, 4}});
+  const auto opt = exact_min_copies(s, 3);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(opt->total_copies, 7u);
+}
+
+TEST(ExactMinCopies, Fig8OptimumIsSeven) {
+  const auto s = AccessStream::from_tuples(
+      5, {{0, 1, 2, 4}, {3, 1, 2, 4}, {0, 1, 2, 3}, {3, 1, 0, 4}});
+  const auto opt = exact_min_copies(s, 4);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(opt->total_copies, 7u);  // 4 singles + 3 copies of the removed
+}
+
+TEST(ExactMinCopies, InfeasibleWhenTupleWiderThanModules) {
+  const auto s = AccessStream::from_tuples(3, {{0, 1, 2}});
+  EXPECT_FALSE(exact_min_copies(s, 2).has_value());
+}
+
+TEST(ExactMinCopies, OptimalPlacementVerifies) {
+  const auto s = AccessStream::from_tuples(
+      5, {{0, 1, 2}, {1, 2, 3}, {0, 2, 3}, {0, 2, 4}, {1, 2, 4}, {0, 3, 4}});
+  const auto opt = exact_min_copies(s, 3);
+  ASSERT_TRUE(opt.has_value());
+  AssignResult as_result;
+  as_result.module_count = 3;
+  as_result.placement = opt->placement;
+  as_result.removed.assign(5, false);
+  EXPECT_TRUE(verify_assignment(s, as_result).conflicting_tuples.empty());
+}
+
+TEST(ExactMinCopies, HeuristicsNeverBeatTheOptimum) {
+  support::SplitMix64 rng(314);
+  for (int iter = 0; iter < 12; ++iter) {
+    const std::size_t nv = 4 + rng.below(4);  // 4..7 values
+    const std::size_t k = 3;
+    std::vector<std::vector<ir::ValueId>> tuples;
+    const std::size_t nt = 3 + rng.below(6);
+    for (std::size_t t = 0; t < nt; ++t) {
+      std::vector<ir::ValueId> ops;
+      while (ops.size() < k) {
+        const auto v = static_cast<ir::ValueId>(rng.below(nv));
+        if (std::find(ops.begin(), ops.end(), v) == ops.end())
+          ops.push_back(v);
+      }
+      tuples.push_back(ops);
+    }
+    const auto s = AccessStream::from_tuples(nv, tuples);
+    const auto opt = exact_min_copies(s, k);
+    ASSERT_TRUE(opt.has_value()) << "iter " << iter;
+    for (const auto method :
+         {DupMethod::kBacktracking, DupMethod::kHittingSet}) {
+      AssignOptions o;
+      o.module_count = k;
+      o.method = method;
+      const auto r = assign_modules(s, o);
+      EXPECT_TRUE(verify_assignment(s, r).ok());
+      EXPECT_GE(r.stats.total_copies, opt->total_copies)
+          << "iter " << iter << " method " << dup_method_name(method);
+      // Sanity bound from §2.2.1: never more than (k-1) x optimal + slack.
+      EXPECT_LE(r.stats.total_copies, opt->total_copies * k)
+          << "iter " << iter;
+    }
+  }
+}
+
+TEST(ExactMinRemovals, KnownGraphs) {
+  EXPECT_EQ(exact_min_removals(graph::Graph::complete(5), 3), 2u);
+  EXPECT_EQ(exact_min_removals(graph::Graph::complete(4), 4), 0u);
+  EXPECT_EQ(exact_min_removals(graph::Graph::cycle(5), 2), 1u);
+  EXPECT_EQ(exact_min_removals(graph::Graph::path(6), 2), 0u);
+}
+
+TEST(ExactMinRemovals, HeuristicRemovesAtLeastOptimal) {
+  support::SplitMix64 rng(2718);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t n = 5 + rng.below(6);
+    const auto g = graph::Graph::random(n, 0.5, rng);
+    const std::size_t k = 2 + rng.below(2);
+    const std::size_t opt = exact_min_removals(g, k);
+
+    // Drive the Fig. 4 heuristic on this graph via a synthetic stream:
+    // one pair-tuple per edge.
+    std::vector<std::vector<ir::ValueId>> tuples;
+    for (graph::Vertex u = 0; u < n; ++u) {
+      for (const graph::Vertex w : g.neighbors(u)) {
+        if (w > u) tuples.push_back({u, w});
+      }
+    }
+    const auto s = AccessStream::from_tuples(n, tuples);
+    const auto cg = ConflictGraph::build(s);
+    const auto cr = color_conflict_graph(cg, {.module_count = k});
+    EXPECT_GE(cr.unassigned.size(), opt) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace parmem::assign

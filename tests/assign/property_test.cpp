@@ -1,0 +1,149 @@
+// Property tests over randomized access streams: for every strategy and
+// duplication method, the assignment must satisfy the paper's central
+// invariant — no statically predictable conflict remains (I1) — plus the
+// structural invariants I8 (no mutable value duplicated) and the k-copy
+// bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "assign/assigner.h"
+#include "assign/verify.h"
+#include "support/matching.h"
+#include "support/rng.h"
+
+namespace parmem::assign {
+namespace {
+
+using ir::AccessStream;
+
+AccessStream random_stream(support::SplitMix64& rng, std::size_t value_count,
+                           std::size_t tuple_count, std::size_t max_width,
+                           std::size_t region_count) {
+  std::vector<std::vector<ir::ValueId>> tuples;
+  for (std::size_t t = 0; t < tuple_count; ++t) {
+    // Width can never exceed the value universe (the sampling loop below
+    // draws distinct values).
+    const std::size_t w =
+        std::min(value_count, 2 + rng.below(max_width - 1));
+    std::vector<ir::ValueId> ops;
+    while (ops.size() < w) {
+      const auto v = static_cast<ir::ValueId>(rng.below(value_count));
+      if (std::find(ops.begin(), ops.end(), v) == ops.end()) ops.push_back(v);
+    }
+    tuples.push_back(std::move(ops));
+  }
+  AccessStream s = AccessStream::from_tuples(value_count, tuples);
+  // Assign contiguous region blocks and mark cross-region values global.
+  std::vector<ir::RegionId> first_region(value_count, ir::kNoRegion);
+  for (std::size_t t = 0; t < s.tuples.size(); ++t) {
+    const auto r = static_cast<ir::RegionId>(t * region_count /
+                                             std::max<std::size_t>(
+                                                 s.tuples.size(), 1));
+    s.tuples[t].region = r;
+    for (const ir::ValueId v : s.tuples[t].operands) {
+      if (first_region[v] == ir::kNoRegion) {
+        first_region[v] = r;
+      } else if (first_region[v] != r) {
+        s.global[v] = true;
+      }
+    }
+  }
+  return s;
+}
+
+struct Config {
+  Strategy strategy;
+  DupMethod method;
+  std::size_t module_count;
+};
+
+class AssignProperty : public ::testing::TestWithParam<Config> {};
+
+TEST_P(AssignProperty, NoPredictableConflictSurvives) {
+  const Config cfg = GetParam();
+  support::SplitMix64 rng(0xfeedULL + cfg.module_count);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t nv = 4 + rng.below(30);
+    const std::size_t nt = 2 + rng.below(40);
+    const std::size_t width = std::min<std::size_t>(cfg.module_count, 2 + rng.below(4));
+    const auto s =
+        random_stream(rng, nv, nt, std::max<std::size_t>(width, 2), 3);
+
+    AssignOptions o;
+    o.module_count = cfg.module_count;
+    o.strategy = cfg.strategy;
+    o.method = cfg.method;
+    o.seed = 1000 + static_cast<std::uint64_t>(iter);
+    const auto r = assign_modules(s, o);
+    const auto report = verify_assignment(s, r);
+    EXPECT_TRUE(report.ok())
+        << "iter " << iter << ": " << report.conflicting_tuples.size()
+        << " conflicting tuples, " << report.missing_values.size()
+        << " missing values";
+    for (const ModuleSet m : r.placement) {
+      EXPECT_LE(copy_count(m), cfg.module_count);
+    }
+  }
+}
+
+TEST_P(AssignProperty, MutableValuesRespectSingleCopy) {
+  const Config cfg = GetParam();
+  support::SplitMix64 rng(0xabcdULL + cfg.module_count);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t nv = 6 + rng.below(20);
+    auto s = random_stream(rng, nv, 3 + rng.below(25),
+                           std::min<std::size_t>(cfg.module_count, 4), 2);
+    // Make a random third of the values mutable.
+    for (ir::ValueId v = 0; v < nv; ++v) {
+      if (rng.below(3) == 0) s.duplicatable[v] = false;
+    }
+    AssignOptions o;
+    o.module_count = cfg.module_count;
+    o.strategy = cfg.strategy;
+    o.method = cfg.method;
+    const auto r = assign_modules(s, o);
+    const auto report = verify_assignment(s, r);
+    EXPECT_TRUE(report.illegal_duplicates.empty()) << "iter " << iter;
+    EXPECT_TRUE(report.missing_values.empty()) << "iter " << iter;
+    // Any residual conflict must be attributable to mutable values: the
+    // non-duplicable operands of the tuple alone already fail the SDR test.
+    for (const std::uint32_t ti : report.conflicting_tuples) {
+      std::vector<std::vector<std::uint32_t>> fixed_choices;
+      for (const ir::ValueId v : s.tuples[ti].operands) {
+        if (!s.duplicatable[v]) {
+          fixed_choices.push_back(modules_of(r.placement[v]));
+        }
+      }
+      EXPECT_FALSE(support::has_distinct_representatives(fixed_choices,
+                                                         cfg.module_count))
+          << "tuple " << ti << " conflicts despite resolvable mutable core";
+    }
+  }
+}
+
+std::string config_name(const ::testing::TestParamInfo<Config>& info) {
+  std::string n = strategy_name(info.param.strategy);
+  n += "_";
+  n += info.param.method == DupMethod::kBacktracking ? "bt" : "hs";
+  n += "_k" + std::to_string(info.param.module_count);
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, AssignProperty,
+    ::testing::Values(
+        Config{Strategy::kStor1, DupMethod::kBacktracking, 4},
+        Config{Strategy::kStor1, DupMethod::kHittingSet, 4},
+        Config{Strategy::kStor2, DupMethod::kBacktracking, 4},
+        Config{Strategy::kStor2, DupMethod::kHittingSet, 4},
+        Config{Strategy::kStor3, DupMethod::kBacktracking, 4},
+        Config{Strategy::kStor3, DupMethod::kHittingSet, 4},
+        Config{Strategy::kStor1, DupMethod::kHittingSet, 8},
+        Config{Strategy::kStor2, DupMethod::kHittingSet, 8},
+        Config{Strategy::kStor3, DupMethod::kBacktracking, 8},
+        Config{Strategy::kStor1, DupMethod::kBacktracking, 2}),
+    config_name);
+
+}  // namespace
+}  // namespace parmem::assign

@@ -1,0 +1,94 @@
+#include "cache/shared_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/rng.h"
+
+namespace parmem::cache {
+namespace {
+
+TEST(SharedCache, DistributesConflictFreeWhenPossible) {
+  // Three items accessed together by three processors; three caches.
+  CachePlanOptions o;
+  o.cache_count = 3;
+  const auto plan = plan_shared_caches(3, {{{0, 1, 2}, 10}}, o);
+  EXPECT_EQ(plan.multi_hit_weight_after, 0u);
+  EXPECT_GT(plan.multi_hit_weight_before, 0u);  // naive layout collides
+  EXPECT_EQ(plan.replicated_items, 0u);
+}
+
+TEST(SharedCache, ReplicatesReadOnlyDataWhenForced) {
+  // K4-style pressure on 3 caches forces replication.
+  CachePlanOptions o;
+  o.cache_count = 3;
+  const auto plan = plan_shared_caches(
+      4, {{{0, 1, 2}, 1}, {{1, 2, 3}, 1}, {{0, 2, 3}, 1}, {{0, 1, 3}, 1}}, o);
+  EXPECT_EQ(plan.multi_hit_weight_after, 0u);
+  EXPECT_GE(plan.replicated_items, 1u);
+}
+
+TEST(SharedCache, WritableItemsAreNeverReplicated) {
+  CachePlanOptions o;
+  o.cache_count = 3;
+  o.read_only = {false, false, false, false};
+  const auto plan = plan_shared_caches(
+      4, {{{0, 1, 2}, 1}, {{1, 2, 3}, 1}, {{0, 2, 3}, 1}, {{0, 1, 3}, 1}}, o);
+  for (const auto s : plan.item_caches) {
+    EXPECT_LE(assign::copy_count(s), 1u);
+  }
+  // The K4 conflict cannot be fully resolved without replication.
+  EXPECT_GT(plan.multi_hit_weight_after, 0u);
+  EXPECT_LE(plan.multi_hit_weight_after, plan.multi_hit_weight_before);
+}
+
+TEST(SharedCache, FrequencyGuidesWhoWins) {
+  // Two groups fight over cache capacity; only one can be conflict-free
+  // with a single cache pair. The hot group must win.
+  CachePlanOptions o;
+  o.cache_count = 2;
+  o.read_only = {false, false, false};  // replication off: a real fight
+  const auto plan = plan_shared_caches(
+      3, {{{0, 1}, 100}, {{0, 2}, 100}, {{1, 2}, 1}}, o);
+  // The triangle over 2 caches cannot be fully satisfied; total remaining
+  // weight must be the cheap group's.
+  EXPECT_EQ(plan.multi_hit_weight_after, 1u);
+}
+
+TEST(SharedCache, ScalesToRealisticTraces) {
+  support::SplitMix64 rng(5150);
+  const std::size_t items = 64;
+  std::vector<AccessGroup> groups;
+  for (int g = 0; g < 200; ++g) {
+    AccessGroup grp;
+    const std::size_t width = 2 + rng.below(3);
+    while (grp.items.size() < width) {
+      const auto it = static_cast<std::uint32_t>(rng.below(items));
+      if (std::find(grp.items.begin(), grp.items.end(), it) ==
+          grp.items.end()) {
+        grp.items.push_back(it);
+      }
+    }
+    grp.frequency = 1 + rng.below(1000);
+    groups.push_back(std::move(grp));
+  }
+  CachePlanOptions o;
+  o.cache_count = 4;
+  const auto plan = plan_shared_caches(items, groups, o);
+  EXPECT_EQ(plan.multi_hit_weight_after, 0u);  // 4 caches, width <= 4
+  EXPECT_LT(plan.total_placements, items * 4);
+}
+
+TEST(SharedCache, RejectsBadInput) {
+  CachePlanOptions o;
+  o.cache_count = 2;
+  EXPECT_THROW(plan_shared_caches(2, {{{0, 5}, 1}}, o),
+               support::InternalError);
+  EXPECT_THROW(plan_shared_caches(2, {{{}, 1}}, o), support::InternalError);
+  o.read_only = {true};
+  EXPECT_THROW(plan_shared_caches(2, {{{0}, 1}}, o), support::InternalError);
+}
+
+}  // namespace
+}  // namespace parmem::cache

@@ -1,0 +1,86 @@
+#include "frontend/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace parmem::frontend {
+namespace {
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::kEof);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  const auto toks = lex("var foo while whilex _bar");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, TokKind::kVar);
+  EXPECT_EQ(toks[1].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_EQ(toks[2].kind, TokKind::kWhile);
+  EXPECT_EQ(toks[3].kind, TokKind::kIdent);  // whilex is not a keyword
+  EXPECT_EQ(toks[4].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[4].text, "_bar");
+}
+
+TEST(Lexer, IntegerAndRealLiterals) {
+  const auto toks = lex("42 3.5 1e3 7.25e-2 9");
+  EXPECT_EQ(toks[0].kind, TokKind::kIntLit);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, TokKind::kRealLit);
+  EXPECT_DOUBLE_EQ(toks[1].real_value, 3.5);
+  EXPECT_EQ(toks[2].kind, TokKind::kRealLit);
+  EXPECT_DOUBLE_EQ(toks[2].real_value, 1000.0);
+  EXPECT_EQ(toks[3].kind, TokKind::kRealLit);
+  EXPECT_DOUBLE_EQ(toks[3].real_value, 0.0725);
+  EXPECT_EQ(toks[4].kind, TokKind::kIntLit);
+}
+
+TEST(Lexer, DotWithoutDigitsIsNotARealSuffix) {
+  // "5.x" is invalid MC, but "5" then error on '.'; check 5e without
+  // exponent digits: '5e' lexes as int 5 then ident 'e'.
+  const auto toks = lex("5e");
+  EXPECT_EQ(toks[0].kind, TokKind::kIntLit);
+  EXPECT_EQ(toks[0].int_value, 5);
+  EXPECT_EQ(toks[1].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[1].text, "e");
+}
+
+TEST(Lexer, TwoCharOperators) {
+  const auto toks = lex("== != <= >= && || = < >");
+  EXPECT_EQ(toks[0].kind, TokKind::kEq);
+  EXPECT_EQ(toks[1].kind, TokKind::kNe);
+  EXPECT_EQ(toks[2].kind, TokKind::kLe);
+  EXPECT_EQ(toks[3].kind, TokKind::kGe);
+  EXPECT_EQ(toks[4].kind, TokKind::kAndAnd);
+  EXPECT_EQ(toks[5].kind, TokKind::kOrOr);
+  EXPECT_EQ(toks[6].kind, TokKind::kAssign);
+  EXPECT_EQ(toks[7].kind, TokKind::kLt);
+  EXPECT_EQ(toks[8].kind, TokKind::kGt);
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+  const auto toks = lex("x # this is a comment = == var\ny");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "y");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].col, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW(lex("a $ b"), support::UserError);
+  EXPECT_THROW(lex("a & b"), support::UserError);
+  EXPECT_THROW(lex("a | b"), support::UserError);
+}
+
+}  // namespace
+}  // namespace parmem::frontend

@@ -1,0 +1,112 @@
+#include "frontend/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace parmem::frontend {
+namespace {
+
+TEST(Parser, MinimalProgram) {
+  const auto p = parse("func main() { }");
+  ASSERT_EQ(p.funcs.size(), 1u);
+  EXPECT_EQ(p.funcs[0].name, "main");
+  EXPECT_TRUE(p.funcs[0].body.empty());
+  EXPECT_EQ(p.funcs[0].return_type, Type::kVoid);
+  EXPECT_NE(p.main(), nullptr);
+}
+
+TEST(Parser, FunctionWithParamsAndReturnType) {
+  const auto p = parse("func f(a: int, b: real): real { return b; }");
+  ASSERT_EQ(p.funcs[0].params.size(), 2u);
+  EXPECT_EQ(p.funcs[0].params[0].type, Type::kInt);
+  EXPECT_EQ(p.funcs[0].params[1].type, Type::kReal);
+  EXPECT_EQ(p.funcs[0].return_type, Type::kReal);
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  const auto p = parse("func main() { var x: int = 1 + 2 * 3; }");
+  const Stmt& s = *p.funcs[0].body[0];
+  ASSERT_EQ(s.kind, Stmt::Kind::kVarDecl);
+  const Expr& e = *s.expr;
+  ASSERT_EQ(e.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e.bin_op, BinOp::kAdd);       // + at the top
+  EXPECT_EQ(e.b->bin_op, BinOp::kMul);    // * below
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const auto p = parse("func main() { var x: int = (1 + 2) * 3; }");
+  const Expr& e = *p.funcs[0].body[0]->expr;
+  EXPECT_EQ(e.bin_op, BinOp::kMul);
+  EXPECT_EQ(e.a->bin_op, BinOp::kAdd);
+}
+
+TEST(Parser, ComparisonAndLogical) {
+  const auto p =
+      parse("func main() { var x: int = 1 < 2 && 3 >= 4 || !(5 == 6); }");
+  const Expr& e = *p.funcs[0].body[0]->expr;
+  EXPECT_EQ(e.bin_op, BinOp::kOr);  // || binds loosest
+}
+
+TEST(Parser, ArrayDeclarationAndAccess) {
+  const auto p = parse(
+      "func main() { array a: real[8]; a[3] = 1.5; var y: real = a[2]; }");
+  EXPECT_EQ(p.funcs[0].body[0]->kind, Stmt::Kind::kArrayDecl);
+  EXPECT_EQ(p.funcs[0].body[0]->array_length, 8);
+  EXPECT_EQ(p.funcs[0].body[1]->kind, Stmt::Kind::kArrayAssign);
+  EXPECT_EQ(p.funcs[0].body[2]->expr->kind, Expr::Kind::kArrayRef);
+}
+
+TEST(Parser, IfElseChain) {
+  const auto p = parse(
+      "func main() { var x: int; if (x < 0) { x = 1; } else if (x > 5) "
+      "{ x = 2; } else { x = 3; } }");
+  const Stmt& s = *p.funcs[0].body[1];
+  ASSERT_EQ(s.kind, Stmt::Kind::kIf);
+  ASSERT_EQ(s.else_body.size(), 1u);
+  EXPECT_EQ(s.else_body[0]->kind, Stmt::Kind::kIf);  // else-if nested
+}
+
+TEST(Parser, ForAndWhileLoops) {
+  const auto p = parse(
+      "func main() { var i: int; for i = 0 to 9 { } while (i > 0) { i = i - "
+      "1; } }");
+  EXPECT_EQ(p.funcs[0].body[1]->kind, Stmt::Kind::kFor);
+  EXPECT_EQ(p.funcs[0].body[2]->kind, Stmt::Kind::kWhile);
+}
+
+TEST(Parser, CallExpressionAndStatement) {
+  const auto p = parse(
+      "func f(x: int): int { return x; }\n"
+      "func g() { }\n"
+      "func main() { var y: int = f(3); g(); }");
+  EXPECT_EQ(p.funcs[2].body[0]->expr->kind, Expr::Kind::kCall);
+  EXPECT_EQ(p.funcs[2].body[1]->kind, Stmt::Kind::kExpr);
+}
+
+TEST(Parser, ConversionBuiltinsUseTypeKeywords) {
+  const auto p =
+      parse("func main() { var x: int = int(2.5); var y: real = real(3); }");
+  EXPECT_EQ(p.funcs[0].body[0]->expr->kind, Expr::Kind::kCall);
+  EXPECT_EQ(p.funcs[0].body[0]->expr->name, "int");
+}
+
+TEST(Parser, SyntaxErrorsCarryLocation) {
+  try {
+    parse("func main() {\n  var x int;\n}");
+    FAIL() << "expected a parse error";
+  } catch (const support::UserError& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnterminatedBlock) {
+  EXPECT_THROW(parse("func main() { var x: int;"), support::UserError);
+}
+
+TEST(Parser, RejectsGarbageAtTopLevel) {
+  EXPECT_THROW(parse("var x: int;"), support::UserError);
+}
+
+}  // namespace
+}  // namespace parmem::frontend

@@ -1,0 +1,132 @@
+#include "frontend/sema.h"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "support/diagnostics.h"
+
+namespace parmem::frontend {
+namespace {
+
+void check(const std::string& src) {
+  Program p = parse(src);
+  sema(p);
+}
+
+void expect_error(const std::string& src, const std::string& needle) {
+  Program p = parse(src);
+  try {
+    sema(p);
+    FAIL() << "expected semantic error containing '" << needle << "'";
+  } catch (const support::UserError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(Sema, AcceptsWellTypedProgram) {
+  check(
+      "func add(a: int, b: int): int { return a + b; }\n"
+      "func main() { var x: int = add(1, 2); print(x); }");
+}
+
+TEST(Sema, RequiresMain) {
+  expect_error("func f() { }", "no 'main'");
+}
+
+TEST(Sema, MainMustBeParameterlessVoid) {
+  expect_error("func main(x: int) { }", "no parameters");
+  expect_error("func main(): int { return 1; }", "must return void");
+}
+
+TEST(Sema, RejectsUndeclaredVariable) {
+  expect_error("func main() { x = 1; }", "undeclared variable");
+  expect_error("func main() { print(y); }", "undeclared variable");
+}
+
+TEST(Sema, RejectsTypeMixing) {
+  expect_error("func main() { var x: int = 1.5; }", "does not match");
+  expect_error("func main() { var x: int = 1 + 2.0; }", "type mismatch");
+  expect_error("func main() { var r: real = 1.0 % 2.0; }", "requires int");
+}
+
+TEST(Sema, ExplicitConversionsAllowed) {
+  check("func main() { var x: int = int(1.5) + 2; var r: real = real(x); }");
+}
+
+TEST(Sema, ConditionsMustBeInt) {
+  expect_error("func main() { if (1.5) { } }", "must be int");
+  expect_error("func main() { while (2.5) { } }", "must be int");
+}
+
+TEST(Sema, ForLoopVariableMustBeDeclaredInt) {
+  expect_error("func main() { for i = 0 to 3 { } }", "must be a declared int");
+  expect_error("func main() { var i: real; for i = 0 to 3 { } }",
+               "must be a declared int");
+  check("func main() { var i: int; for i = 0 to 3 { } }");
+}
+
+TEST(Sema, ArrayRules) {
+  expect_error("func main() { array a: int[0]; }", "must be positive");
+  expect_error("func main() { array a: int[4]; a[1.5] = 0; }", "must be int");
+  expect_error("func main() { array a: int[4]; a[0] = 2.5; }",
+               "cannot store");
+  check("func main() { array a: real[4]; a[0] = 2.5; print(a[0]); }");
+}
+
+TEST(Sema, ScopingShadowsAndExpires) {
+  check(
+      "func main() { var x: int; if (x == 0) { var y: int = 1; print(y); } "
+      "}");
+  expect_error(
+      "func main() { if (1 == 1) { var y: int = 1; } print(y); }",
+      "undeclared");
+  expect_error("func main() { var x: int; var x: int; }", "redeclaration");
+}
+
+TEST(Sema, CallChecking) {
+  expect_error("func main() { var x: int = nosuch(1); }", "undeclared function");
+  expect_error(
+      "func f(a: int): int { return a; } func main() { var x: int = f(); }",
+      "expects 1 arguments");
+  expect_error(
+      "func f(a: real): real { return a; } func main() { var x: real = f(1); "
+      "}",
+      "must be real");
+}
+
+TEST(Sema, ReturnTypeChecked) {
+  expect_error("func f(): int { return; } func main() { f(); }",
+               "return type mismatch");
+  expect_error("func f() { return 1; } func main() { f(); }",
+               "return type mismatch");
+}
+
+TEST(Sema, RecursionRejected) {
+  expect_error(
+      "func f(a: int): int { return f(a - 1); } func main() { var x: int = "
+      "f(3); }",
+      "recursion");
+  expect_error(
+      "func f(a: int): int { return g(a); } func g(a: int): int { return "
+      "f(a); } func main() { var x: int = f(3); }",
+      "recursion");
+}
+
+TEST(Sema, BuiltinSignatures) {
+  check("func main() { print(sqrt(2.0) + sin(1.0) * cos(0.5)); }");
+  expect_error("func main() { print(sqrt(2)); }", "one real argument");
+  check("func main() { print(abs(-3)); print(abs(-3.5)); }");
+}
+
+TEST(Sema, DuplicateFunctionRejected) {
+  expect_error("func f() { } func f() { } func main() { }",
+               "duplicate function");
+}
+
+TEST(Sema, ExpressionStatementMustBeCall) {
+  expect_error("func main() { 1 + 2; }", "must be a call");
+}
+
+}  // namespace
+}  // namespace parmem::frontend

@@ -1,0 +1,90 @@
+#include "frontend/unroll.h"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+
+namespace parmem::frontend {
+namespace {
+
+Program parsed(const std::string& src) {
+  Program p = parse(src);
+  sema(p);
+  return p;
+}
+
+std::size_t count_for_loops(const std::vector<StmtPtr>& stmts) {
+  std::size_t n = 0;
+  for (const auto& s : stmts) {
+    n += (s->kind == Stmt::Kind::kFor);
+    n += count_for_loops(s->body);
+    n += count_for_loops(s->else_body);
+  }
+  return n;
+}
+
+TEST(Unroll, ConstantBoundLoopDisappears) {
+  auto p = parsed(
+      "func main() { var i: int; var s: int = 0; for i = 1 to 4 { s = s + i; "
+      "} print(s); }");
+  const auto stats = unroll_loops(p, {.max_trip = 8});
+  EXPECT_EQ(stats.loops_unrolled, 1u);
+  EXPECT_EQ(stats.copies_emitted, 4u);
+  EXPECT_EQ(count_for_loops(p.funcs[0].body), 0u);
+  // The unrolled program must still type-check.
+  sema(p);
+}
+
+TEST(Unroll, NonConstantBoundsAreLeftAlone) {
+  auto p = parsed(
+      "func main() { var n: int = 5; var i: int; for i = 0 to n { print(i); "
+      "} }");
+  const auto stats = unroll_loops(p, {.max_trip = 8});
+  EXPECT_EQ(stats.loops_unrolled, 0u);
+  EXPECT_EQ(count_for_loops(p.funcs[0].body), 1u);
+}
+
+TEST(Unroll, TripCountAboveLimitIsKept) {
+  auto p = parsed(
+      "func main() { var i: int; for i = 0 to 99 { print(i); } }");
+  const auto stats = unroll_loops(p, {.max_trip = 8});
+  EXPECT_EQ(stats.loops_unrolled, 0u);
+}
+
+TEST(Unroll, ZeroTripLoopBecomesJustTheFinalAssignment) {
+  auto p = parsed(
+      "func main() { var i: int; for i = 5 to 2 { print(i); } print(i); }");
+  const auto stats = unroll_loops(p, {.max_trip = 8});
+  EXPECT_EQ(stats.loops_unrolled, 1u);
+  EXPECT_EQ(stats.copies_emitted, 0u);
+  sema(p);
+}
+
+TEST(Unroll, NestedConstantLoopsUnrollRecursively) {
+  auto p = parsed(
+      "func main() { var i: int; var j: int; var s: int = 0;\n"
+      "for i = 0 to 2 { for j = 0 to 1 { s = s + i * j; } } print(s); }");
+  const auto stats = unroll_loops(p, {.max_trip = 8});
+  EXPECT_EQ(stats.loops_unrolled, 2u);  // inner (once, pre-clone) + outer
+  EXPECT_EQ(count_for_loops(p.funcs[0].body), 0u);
+  sema(p);
+}
+
+TEST(Unroll, BudgetStopsExpansion) {
+  auto p = parsed(
+      "func main() { var i: int; for i = 0 to 9 { print(i); print(i + 1); } "
+      "}");
+  const auto stats = unroll_loops(p, {.max_trip = 32, .max_statements = 5});
+  EXPECT_EQ(stats.loops_unrolled, 0u);
+}
+
+TEST(Unroll, DisabledWhenMaxTripZero) {
+  auto p = parsed("func main() { var i: int; for i = 0 to 3 { print(i); } }");
+  const auto stats = unroll_loops(p, {.max_trip = 0});
+  EXPECT_EQ(stats.loops_unrolled, 0u);
+  EXPECT_EQ(count_for_loops(p.funcs[0].body), 1u);
+}
+
+}  // namespace
+}  // namespace parmem::frontend

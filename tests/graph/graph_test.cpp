@@ -1,0 +1,107 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace parmem::graph {
+namespace {
+
+TEST(Graph, AddEdgeIsSymmetricAndDeduplicated) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // duplicate
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), support::InternalError);
+}
+
+TEST(Graph, OutOfRangeRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), support::InternalError);
+  EXPECT_THROW(g.has_edge(0, 5), support::InternalError);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 3u);
+  EXPECT_EQ(nb[2], 4u);
+}
+
+TEST(Graph, CliqueDetection) {
+  Graph g = Graph::complete(4);
+  EXPECT_TRUE(g.is_clique(std::vector<Vertex>{0, 1, 2, 3}));
+  EXPECT_TRUE(g.is_clique(std::vector<Vertex>{}));
+  EXPECT_TRUE(g.is_clique(std::vector<Vertex>{2}));
+  Graph p = Graph::path(4);
+  EXPECT_TRUE(p.is_clique(std::vector<Vertex>{1, 2}));
+  EXPECT_FALSE(p.is_clique(std::vector<Vertex>{0, 1, 2}));
+}
+
+TEST(Graph, InducedSubgraphKeepsEdges) {
+  Graph g = Graph::cycle(5);  // 0-1-2-3-4-0
+  const std::vector<Vertex> keep{0, 1, 3};
+  Graph sub = g.induced(keep);
+  EXPECT_EQ(sub.vertex_count(), 3u);
+  EXPECT_TRUE(sub.has_edge(0, 1));   // 0-1 survives
+  EXPECT_FALSE(sub.has_edge(0, 2));  // 0-3 not an edge in C5
+  EXPECT_FALSE(sub.has_edge(1, 2));  // 1-3 not an edge
+}
+
+TEST(Graph, InducedRejectsDuplicates) {
+  Graph g(3);
+  EXPECT_THROW(g.induced(std::vector<Vertex>{0, 0}), support::InternalError);
+}
+
+TEST(Graph, ComponentsOfDisconnectedGraph) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto comps = g.components();
+  ASSERT_EQ(comps.size(), 3u);  // {0,1}, {2,3,4}, {5}
+  EXPECT_EQ(comps[0], (std::vector<Vertex>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<Vertex>{2, 3, 4}));
+  EXPECT_EQ(comps[2], (std::vector<Vertex>{5}));
+}
+
+TEST(Graph, ComponentOfRespectsAliveMask) {
+  Graph g = Graph::path(5);  // 0-1-2-3-4
+  std::vector<bool> alive(5, true);
+  alive[2] = false;  // cut the path
+  EXPECT_EQ(g.component_of(0, alive), (std::vector<Vertex>{0, 1}));
+  EXPECT_EQ(g.component_of(4, alive), (std::vector<Vertex>{3, 4}));
+}
+
+TEST(Graph, ShapeConstructors) {
+  EXPECT_EQ(Graph::complete(5).edge_count(), 10u);
+  EXPECT_EQ(Graph::cycle(6).edge_count(), 6u);
+  EXPECT_EQ(Graph::path(6).edge_count(), 5u);
+  EXPECT_THROW(Graph::cycle(2), support::InternalError);
+}
+
+TEST(Graph, RandomGraphRespectsProbabilityBounds) {
+  support::SplitMix64 rng(1);
+  Graph empty = Graph::random(20, 0.0, rng);
+  EXPECT_EQ(empty.edge_count(), 0u);
+  Graph full = Graph::random(20, 1.0, rng);
+  EXPECT_EQ(full.edge_count(), 190u);
+  Graph half = Graph::random(40, 0.5, rng);
+  EXPECT_GT(half.edge_count(), 250u);
+  EXPECT_LT(half.edge_count(), 530u);
+}
+
+}  // namespace
+}  // namespace parmem::graph

@@ -1,0 +1,108 @@
+#include "ir/region.h"
+
+#include <gtest/gtest.h>
+
+namespace parmem::ir {
+namespace {
+
+/// Builds a tiny program:
+///   0: mov x = 0
+///   1: brfalse x -> 4
+///   2: mov x = 1
+///   3: br -> 5
+///   4: mov x = 2
+///   5: halt
+TacProgram diamond() {
+  TacProgram p;
+  ValueInfo vi;
+  vi.name = "x";
+  const ValueId x = p.values.add(vi);
+  const auto mov = [&](std::int64_t imm) {
+    TacInstr in;
+    in.op = Opcode::kMov;
+    in.dst = x;
+    in.a = Operand::imm(imm);
+    return in;
+  };
+  p.instrs.push_back(mov(0));
+  TacInstr br;
+  br.op = Opcode::kBrFalse;
+  br.a = Operand::val(x);
+  br.target = 4;
+  p.instrs.push_back(br);
+  p.instrs.push_back(mov(1));
+  TacInstr b2;
+  b2.op = Opcode::kBr;
+  b2.target = 5;
+  p.instrs.push_back(b2);
+  p.instrs.push_back(mov(2));
+  TacInstr h;
+  h.op = Opcode::kHalt;
+  p.instrs.push_back(h);
+  return p;
+}
+
+TEST(RegionGraph, DiamondHasFourBlocks) {
+  const TacProgram p = diamond();
+  const RegionGraph rg = RegionGraph::build(p);
+  ASSERT_EQ(rg.regions.size(), 4u);
+  // Block 0: instrs 0-1; block 1: 2-3; block 2: 4; block 3: 5.
+  EXPECT_EQ(rg.regions[0].first, 0u);
+  EXPECT_EQ(rg.regions[0].last, 2u);
+  EXPECT_EQ(rg.regions[1].first, 2u);
+  EXPECT_EQ(rg.regions[2].first, 4u);
+  EXPECT_EQ(rg.regions[3].first, 5u);
+}
+
+TEST(RegionGraph, SuccessorsFollowBranches) {
+  const TacProgram p = diamond();
+  const RegionGraph rg = RegionGraph::build(p);
+  // Block 0 branches to block 2 (target 4) and falls through to block 1.
+  EXPECT_EQ(rg.regions[0].successors.size(), 2u);
+  // Block 1 jumps to block 3.
+  ASSERT_EQ(rg.regions[1].successors.size(), 1u);
+  EXPECT_EQ(rg.regions[1].successors[0], 3u);
+  // Block 2 falls through to block 3.
+  ASSERT_EQ(rg.regions[2].successors.size(), 1u);
+  EXPECT_EQ(rg.regions[2].successors[0], 3u);
+  // Halt block has no successors.
+  EXPECT_TRUE(rg.regions[3].successors.empty());
+}
+
+TEST(RegionGraph, RegionOfMapsEveryInstruction) {
+  const TacProgram p = diamond();
+  const RegionGraph rg = RegionGraph::build(p);
+  EXPECT_EQ(rg.region_of[0], 0u);
+  EXPECT_EQ(rg.region_of[1], 0u);
+  EXPECT_EQ(rg.region_of[2], 1u);
+  EXPECT_EQ(rg.region_of[4], 2u);
+  EXPECT_EQ(rg.region_of[5], 3u);
+}
+
+TEST(RegionGraph, StraightLineIsOneRegion) {
+  TacProgram p;
+  ValueInfo vi;
+  vi.name = "x";
+  const ValueId x = p.values.add(vi);
+  for (int i = 0; i < 5; ++i) {
+    TacInstr in;
+    in.op = Opcode::kMov;
+    in.dst = x;
+    in.a = Operand::imm(std::int64_t{i});
+    p.instrs.push_back(in);
+  }
+  TacInstr h;
+  h.op = Opcode::kHalt;
+  p.instrs.push_back(h);
+  const RegionGraph rg = RegionGraph::build(p);
+  EXPECT_EQ(rg.regions.size(), 1u);
+}
+
+TEST(RegionGraph, EmptyProgram) {
+  TacProgram p;
+  const RegionGraph rg = RegionGraph::build(p);
+  EXPECT_TRUE(rg.regions.empty());
+}
+
+}  // namespace
+}  // namespace parmem::ir

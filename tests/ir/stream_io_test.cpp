@@ -1,0 +1,80 @@
+#include "ir/stream_io.h"
+
+#include <gtest/gtest.h>
+
+namespace parmem::ir {
+namespace {
+
+TEST(StreamIo, ParsesFig1) {
+  const char* text =
+      "# the paper's Fig. 1\n"
+      "stream 5\n"
+      "tuple 0 1 3\n"
+      "tuple 1 2 4\n"
+      "tuple 1 2 3\n";
+  const auto s = parse_stream(text);
+  EXPECT_EQ(s.value_count, 5u);
+  ASSERT_EQ(s.tuples.size(), 3u);
+  EXPECT_EQ(s.tuples[0].operands, (std::vector<ValueId>{0, 1, 3}));
+  EXPECT_TRUE(s.duplicatable[4]);
+  EXPECT_FALSE(s.global[0]);
+}
+
+TEST(StreamIo, FlagsAndRegions) {
+  const char* text =
+      "stream 4\n"
+      "mutable 1 3\n"
+      "global 2\n"
+      "tuple @7 0 2\n"
+      "tuple 1 3   # trailing comment\n";
+  const auto s = parse_stream(text);
+  EXPECT_FALSE(s.duplicatable[1]);
+  EXPECT_FALSE(s.duplicatable[3]);
+  EXPECT_TRUE(s.duplicatable[0]);
+  EXPECT_TRUE(s.global[2]);
+  EXPECT_EQ(s.tuples[0].region, 7u);
+  EXPECT_EQ(s.tuples[1].region, 0u);
+}
+
+TEST(StreamIo, TupleOperandsDedupedAndSorted) {
+  const auto s = parse_stream("stream 5\ntuple 3 1 3 2\n");
+  EXPECT_EQ(s.tuples[0].operands, (std::vector<ValueId>{1, 2, 3}));
+}
+
+TEST(StreamIo, RoundTrip) {
+  AccessStream s = AccessStream::from_tuples(6, {{0, 1, 2}, {3, 4}, {1, 5}});
+  s.duplicatable[2] = false;
+  s.global[4] = true;
+  s.tuples[1].region = 3;
+  const auto round = parse_stream(format_stream(s));
+  EXPECT_EQ(round.value_count, s.value_count);
+  EXPECT_EQ(round.duplicatable, s.duplicatable);
+  EXPECT_EQ(round.global, s.global);
+  ASSERT_EQ(round.tuples.size(), s.tuples.size());
+  for (std::size_t i = 0; i < s.tuples.size(); ++i) {
+    EXPECT_EQ(round.tuples[i].operands, s.tuples[i].operands);
+    EXPECT_EQ(round.tuples[i].region, s.tuples[i].region);
+  }
+}
+
+TEST(StreamIo, Errors) {
+  EXPECT_THROW(parse_stream("tuple 0 1\n"), support::UserError);  // no header
+  EXPECT_THROW(parse_stream("stream 2\nstream 3\n"), support::UserError);
+  EXPECT_THROW(parse_stream("stream 2\ntuple 0 5\n"), support::UserError);
+  EXPECT_THROW(parse_stream("stream 2\ntuple\n"), support::UserError);
+  EXPECT_THROW(parse_stream("stream 2\nbogus 1\n"), support::UserError);
+  EXPECT_THROW(parse_stream("stream x\n"), support::UserError);
+  EXPECT_THROW(parse_stream(""), support::UserError);
+}
+
+TEST(StreamIo, ErrorsCarryLineNumbers) {
+  try {
+    parse_stream("stream 3\ntuple 0 1\ntuple 9\n");
+    FAIL() << "expected a parse error";
+  } catch (const support::UserError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace parmem::ir

@@ -1,0 +1,171 @@
+#include "lower/ifconvert.h"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "ir/region.h"
+#include "lower/lower.h"
+#include "machine/simulator.h"
+
+namespace parmem::lower {
+namespace {
+
+ir::TacProgram compile(const std::string& src) {
+  frontend::Program ast = frontend::parse(src);
+  frontend::sema(ast);
+  return lower_program(ast, {});
+}
+
+std::vector<std::string> run(const ir::TacProgram& tac) {
+  machine::MachineConfig cfg;
+  return machine::run_sequential(tac, cfg).output;
+}
+
+std::size_t count_branches(const ir::TacProgram& tac) {
+  std::size_t n = 0;
+  for (const auto& in : tac.instrs) {
+    n += (in.op == ir::Opcode::kBrTrue || in.op == ir::Opcode::kBrFalse ||
+          in.op == ir::Opcode::kBr);
+  }
+  return n;
+}
+
+TEST(IfConvert, TriangleBecomesStraightLine) {
+  auto tac = compile(
+      "func main() { var x: int = 5; var y: int = 0; if (x > 2) { y = x * 2; "
+      "} print(y); }");
+  const auto stats = if_convert(tac);
+  EXPECT_EQ(stats.triangles_converted, 1u);
+  EXPECT_EQ(stats.selects_inserted, 1u);
+  EXPECT_EQ(count_branches(tac), 0u);
+  EXPECT_EQ(run(tac), (std::vector<std::string>{"10"}));
+}
+
+TEST(IfConvert, TriangleNotTakenPathPreservesOriginal) {
+  auto tac = compile(
+      "func main() { var x: int = 1; var y: int = 7; if (x > 2) { y = 0; } "
+      "print(y); }");
+  if_convert(tac);
+  EXPECT_EQ(run(tac), (std::vector<std::string>{"7"}));
+}
+
+TEST(IfConvert, DiamondMergesBothSides) {
+  auto tac = compile(
+      "func main() { var x: int = 4; var y: int; if (x % 2 == 0) { y = x / "
+      "2; } else { y = 3 * x + 1; } print(y); }");
+  // Note: x / 2 is a div — unsafe to speculate — so this diamond must NOT
+  // convert.
+  const auto stats = if_convert(tac);
+  EXPECT_EQ(stats.diamonds_converted, 0u);
+  EXPECT_EQ(run(tac), (std::vector<std::string>{"2"}));
+}
+
+TEST(IfConvert, DiamondWithPureBodiesConverts) {
+  auto tac = compile(
+      "func main() { var x: int = 4; var y: int; if (x > 2) { y = x + 10; } "
+      "else { y = x - 10; } print(y); }");
+  const auto stats = if_convert(tac);
+  EXPECT_EQ(stats.diamonds_converted, 1u);
+  EXPECT_EQ(count_branches(tac), 0u);
+  EXPECT_EQ(run(tac), (std::vector<std::string>{"14"}));
+}
+
+TEST(IfConvert, BothSidesOfDiamondExecuteSpeculatively) {
+  // Values defined on both sides must merge; values defined on one side
+  // keep their original on the other path.
+  auto tac = compile(
+      "func main() { var a: int = 1; var b: int = 2; var c: int = 0; "
+      "if (a < b) { c = a + b; a = 9; } else { c = a - b; } "
+      "print(a); print(b); print(c); }");
+  const auto stats = if_convert(tac);
+  EXPECT_EQ(stats.diamonds_converted, 1u);
+  EXPECT_EQ(run(tac), (std::vector<std::string>{"9", "2", "3"}));
+}
+
+TEST(IfConvert, UnsafeBodiesAreLeftAlone) {
+  // Stores, prints and divisions must not be speculated.
+  const char* cases[] = {
+      "func main() { array a: int[2]; var x: int = 1; if (x > 0) { a[0] = 1; "
+      "} print(a[0]); }",
+      "func main() { var x: int = 1; if (x > 0) { print(x); } print(2); }",
+      "func main() { var x: int = 1; var y: int = 0; if (x > 0) { y = 10 / "
+      "x; } print(y); }",
+  };
+  for (const char* src : cases) {
+    auto tac = compile(src);
+    const auto before = run(tac);
+    const auto stats = if_convert(tac);
+    EXPECT_EQ(stats.triangles_converted + stats.diamonds_converted, 0u)
+        << src;
+    EXPECT_EQ(run(tac), before);
+  }
+}
+
+TEST(IfConvert, NestedIfsConvertInsideOut) {
+  auto tac = compile(
+      "func main() { var x: int = 5; var y: int = 0; "
+      "if (x > 0) { y = 1; if (x > 3) { y = 2; } } print(y); }");
+  const auto stats = if_convert(tac);
+  EXPECT_GE(stats.triangles_converted, 2u);
+  EXPECT_EQ(count_branches(tac), 0u);
+  EXPECT_EQ(run(tac), (std::vector<std::string>{"2"}));
+}
+
+TEST(IfConvert, LoopsAreNeverTouched) {
+  auto tac = compile(
+      "func main() { var s: int = 0; var i: int; for i = 1 to 3 { s = s + i; "
+      "} print(s); }");
+  const auto before_branches = count_branches(tac);
+  const auto stats = if_convert(tac);
+  EXPECT_EQ(stats.triangles_converted + stats.diamonds_converted, 0u);
+  EXPECT_EQ(count_branches(tac), before_branches);
+  EXPECT_EQ(run(tac), (std::vector<std::string>{"6"}));
+}
+
+TEST(IfConvert, IfInsideLoopConvertsAndLoopSurvives) {
+  auto tac = compile(
+      "func main() { var s: int = 0; var i: int; for i = 1 to 10 { "
+      "if (i % 2 == 0) { s = s + i; } } print(s); }");
+  const auto stats = if_convert(tac);
+  EXPECT_EQ(stats.triangles_converted, 1u);
+  EXPECT_EQ(run(tac), (std::vector<std::string>{"30"}));
+  // The loop's blocks shrink to: head, (straightened) body, exit.
+  const auto rg = ir::RegionGraph::build(tac);
+  EXPECT_LE(rg.regions.size(), 5u);
+}
+
+TEST(IfConvert, SizeLimitRespected) {
+  std::string body;
+  for (int i = 0; i < 40; ++i) body += "y = y + 1; ";
+  auto tac = compile("func main() { var x: int = 1; var y: int = 0; if (x > "
+                     "0) { " + body + "} print(y); }");
+  IfConvertOptions o;
+  o.max_ops = 8;
+  const auto stats = if_convert(tac, o);
+  EXPECT_EQ(stats.triangles_converted, 0u);
+}
+
+TEST(IfConvert, ComparisonAcrossManyRandomPrograms) {
+  support::SplitMix64 rng(777);
+  for (int iter = 0; iter < 15; ++iter) {
+    std::string src = "func main() { var a: int = " +
+                      std::to_string(rng.below(10)) + "; var b: int = " +
+                      std::to_string(rng.below(10)) + "; var c: int = 0;\n";
+    for (int s = 0; s < 4; ++s) {
+      const auto op = rng.below(3);
+      const std::string cmp = op == 0 ? "<" : (op == 1 ? ">" : "==");
+      src += "if (a " + cmp + " b) { c = c + a; a = a + 1; } else { c = c - "
+             "b; b = b + 1; }\n";
+    }
+    src += "print(a); print(b); print(c); }";
+    auto plain = compile(src);
+    auto converted = compile(src);
+    const auto stats = if_convert(converted);
+    EXPECT_GT(stats.diamonds_converted, 0u);
+    EXPECT_EQ(run(plain), run(converted)) << "iteration " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace parmem::lower

@@ -1,0 +1,167 @@
+#include "lower/lower.h"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "machine/simulator.h"
+
+namespace parmem::lower {
+namespace {
+
+ir::TacProgram compile(const std::string& src,
+                       const LowerOptions& opts = {}) {
+  frontend::Program ast = frontend::parse(src);
+  frontend::sema(ast);
+  return lower_program(ast, opts);
+}
+
+std::vector<std::string> run(const std::string& src) {
+  const auto tac = compile(src);
+  machine::MachineConfig cfg;
+  return machine::run_sequential(tac, cfg).output;
+}
+
+TEST(Lower, ArithmeticAndPrint) {
+  EXPECT_EQ(run("func main() { print(2 + 3 * 4); }"),
+            (std::vector<std::string>{"14"}));
+  EXPECT_EQ(run("func main() { var x: int = 10; print(x / 3); print(x % 3); "
+                "}"),
+            (std::vector<std::string>{"3", "1"}));
+  EXPECT_EQ(run("func main() { print(-(1 - 4)); }"),
+            (std::vector<std::string>{"3"}));
+}
+
+TEST(Lower, RealArithmetic) {
+  EXPECT_EQ(run("func main() { print(1.5 * 2.0); }"),
+            (std::vector<std::string>{"3"}));
+  EXPECT_EQ(run("func main() { print(real(7) / 2.0); }"),
+            (std::vector<std::string>{"3.5"}));
+  EXPECT_EQ(run("func main() { print(int(3.9)); }"),
+            (std::vector<std::string>{"3"}));
+}
+
+TEST(Lower, IfElseBothBranches) {
+  const char* tmpl =
+      "func main() { var x: int = %d; if (x > 2) { print(1); } else { "
+      "print(0); } }";
+  char buf[256];
+  std::snprintf(buf, sizeof buf, tmpl, 5);
+  EXPECT_EQ(run(buf), (std::vector<std::string>{"1"}));
+  std::snprintf(buf, sizeof buf, tmpl, 1);
+  EXPECT_EQ(run(buf), (std::vector<std::string>{"0"}));
+}
+
+TEST(Lower, WhileLoopAccumulates) {
+  EXPECT_EQ(run("func main() { var s: int = 0; var i: int = 1; while (i <= "
+                "5) { s = s + i; i = i + 1; } print(s); }"),
+            (std::vector<std::string>{"15"}));
+}
+
+TEST(Lower, ForLoopInclusiveBounds) {
+  EXPECT_EQ(run("func main() { var s: int = 0; var i: int; for i = 2 to 4 { "
+                "s = s + i; } print(s); print(i); }"),
+            (std::vector<std::string>{"9", "5"}));
+  // Empty range executes zero times.
+  EXPECT_EQ(run("func main() { var s: int = 7; var i: int; for i = 3 to 2 { "
+                "s = 0; } print(s); }"),
+            (std::vector<std::string>{"7"}));
+}
+
+TEST(Lower, ForLoopBoundEvaluatedOnce) {
+  // Growing n inside the body must not extend the loop.
+  EXPECT_EQ(run("func main() { var n: int = 3; var c: int = 0; var i: int; "
+                "for i = 1 to n { n = n + 1; c = c + 1; } print(c); }"),
+            (std::vector<std::string>{"3"}));
+}
+
+TEST(Lower, Arrays) {
+  EXPECT_EQ(run("func main() { array a: int[4]; var i: int; for i = 0 to 3 "
+                "{ a[i] = i * i; } print(a[3] + a[2]); }"),
+            (std::vector<std::string>{"13"}));
+}
+
+TEST(Lower, FunctionInliningWithReturnValue) {
+  EXPECT_EQ(run("func sq(x: int): int { return x * x; }\n"
+                "func main() { print(sq(3) + sq(4)); }"),
+            (std::vector<std::string>{"25"}));
+}
+
+TEST(Lower, InliningWithEarlyReturn) {
+  EXPECT_EQ(run("func clamp(x: int): int { if (x > 10) { return 10; } "
+                "return x; }\n"
+                "func main() { print(clamp(42)); print(clamp(7)); }"),
+            (std::vector<std::string>{"10", "7"}));
+}
+
+TEST(Lower, NestedCallsInlineIndependently) {
+  EXPECT_EQ(run("func inc(x: int): int { return x + 1; }\n"
+                "func twice(x: int): int { return inc(inc(x)); }\n"
+                "func main() { print(twice(5)); }"),
+            (std::vector<std::string>{"7"}));
+}
+
+TEST(Lower, LogicalOperatorsAreStrict) {
+  EXPECT_EQ(run("func main() { print(1 && 0); print(1 && 2); print(0 || 0); "
+                "print(0 || 3); print(!1); print(!0); }"),
+            (std::vector<std::string>{"0", "1", "0", "1", "0", "1"}));
+}
+
+TEST(Lower, Builtins) {
+  EXPECT_EQ(run("func main() { print(abs(-5)); print(sqrt(9.0)); }"),
+            (std::vector<std::string>{"5", "3"}));
+}
+
+TEST(Lower, ConstantFoldingShrinksCode) {
+  const auto folded = compile("func main() { print(2 * 3 + 4); }");
+  LowerOptions no_fold;
+  no_fold.fold_constants = false;
+  const auto unfolded = compile("func main() { print(2 * 3 + 4); }", no_fold);
+  EXPECT_LT(folded.instrs.size(), unfolded.instrs.size());
+  // Both still compute the same thing.
+  machine::MachineConfig cfg;
+  EXPECT_EQ(machine::run_sequential(folded, cfg).output,
+            machine::run_sequential(unfolded, cfg).output);
+}
+
+TEST(Lower, TemporariesAreSingleAssignment) {
+  const auto tac =
+      compile("func main() { var x: int = 1; x = x + 2; x = x * 3; print(x); "
+              "}");
+  // x has three static defs -> mutable; all temporaries single-assignment.
+  bool saw_mutable_var = false;
+  for (ir::ValueId v = 0; v < tac.values.size(); ++v) {
+    const auto& vi = tac.values.info(v);
+    if (vi.kind == ir::ValueKind::kTemporary) {
+      EXPECT_TRUE(vi.single_assignment);
+    } else if (!vi.single_assignment) {
+      saw_mutable_var = true;
+    }
+  }
+  EXPECT_TRUE(saw_mutable_var);
+}
+
+TEST(Lower, SingleDefVariableBecomesDuplicable) {
+  const auto tac = compile("func main() { var x: int = 41; print(x + 1); }");
+  bool found = false;
+  for (ir::ValueId v = 0; v < tac.values.size(); ++v) {
+    const auto& vi = tac.values.info(v);
+    if (vi.kind == ir::ValueKind::kVariable) {
+      EXPECT_TRUE(vi.single_assignment);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lower, RuntimeErrorsSurfaceAsUserErrors) {
+  machine::MachineConfig cfg;
+  const auto div0 = compile("func main() { var z: int = 0; print(1 / z); }");
+  EXPECT_THROW(machine::run_sequential(div0, cfg), support::UserError);
+  const auto oob =
+      compile("func main() { array a: int[2]; var i: int = 5; print(a[i]); }");
+  EXPECT_THROW(machine::run_sequential(oob, cfg), support::UserError);
+}
+
+}  // namespace
+}  // namespace parmem::lower

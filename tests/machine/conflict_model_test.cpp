@@ -1,0 +1,117 @@
+#include "machine/conflict_model.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace parmem::machine {
+namespace {
+
+TEST(ConflictModel, NoRandomAccessesIsJustTheBase) {
+  EXPECT_DOUBLE_EQ(expected_max_load({3, 1, 2}, 0), 3.0);
+  EXPECT_DOUBLE_EQ(expected_max_load({0, 0}, 0), 0.0);
+}
+
+TEST(ConflictModel, SingleModuleStacksEverything) {
+  EXPECT_DOUBLE_EQ(expected_max_load({0}, 5), 5.0);
+  EXPECT_DOUBLE_EQ(expected_max_load({2}, 3), 5.0);
+}
+
+TEST(ConflictModel, OneAccessUniform) {
+  // One access over k empty modules: max load is always exactly 1.
+  for (std::size_t k = 1; k <= 8; ++k) {
+    EXPECT_NEAR(expected_max_load(std::vector<std::uint64_t>(k, 0), 1), 1.0,
+                1e-12);
+  }
+}
+
+TEST(ConflictModel, TwoAccessesTwoModules) {
+  // P(same module) = 1/2 -> E[max] = 0.5*2 + 0.5*1 = 1.5.
+  EXPECT_NEAR(expected_max_load({0, 0}, 2), 1.5, 1e-12);
+}
+
+TEST(ConflictModel, BirthdayStructureThreeOverThree) {
+  // 3 accesses over 3 modules: P(max=3)=3/27, P(max=1)=6/27 (permutations),
+  // P(max=2)=18/27 -> E = (6*1 + 18*2 + 3*3)/27 = 51/27.
+  EXPECT_NEAR(expected_max_load({0, 0, 0}, 3), 51.0 / 27.0, 1e-12);
+}
+
+TEST(ConflictModel, ProbabilitiesAreMonotoneInBound) {
+  const std::vector<std::uint64_t> base{1, 0, 2, 0};
+  double prev = 0.0;
+  for (std::uint64_t m = 0; m <= 10; ++m) {
+    const double p = prob_max_load_at_most(base, 4, m);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(ConflictModel, BaseBeyondBoundHasZeroProbability) {
+  EXPECT_DOUBLE_EQ(prob_max_load_at_most({5, 0}, 1, 4), 0.0);
+}
+
+TEST(ConflictModel, MatchesMonteCarlo) {
+  // I7: the exact DP must agree with simulation.
+  support::SplitMix64 rng(2718);
+  const std::vector<std::vector<std::uint64_t>> bases{
+      {0, 0, 0, 0}, {1, 0, 2, 0}, {0, 0, 0, 0, 0, 0, 0, 0}, {3, 1}};
+  const std::vector<std::size_t> accesses{1, 2, 3, 5};
+  for (const auto& base : bases) {
+    for (const std::size_t a : accesses) {
+      const double exact = expected_max_load(base, a);
+      double sum = 0;
+      const int trials = 40000;
+      for (int t = 0; t < trials; ++t) {
+        std::vector<std::uint64_t> load = base;
+        for (std::size_t i = 0; i < a; ++i) {
+          ++load[rng.below(base.size())];
+        }
+        sum += static_cast<double>(
+            *std::max_element(load.begin(), load.end()));
+      }
+      EXPECT_NEAR(sum / trials, exact, 0.02)
+          << "k=" << base.size() << " a=" << a;
+    }
+  }
+}
+
+TEST(ConflictModel, ExpectationGrowsWithAccesses) {
+  double prev = 0;
+  for (std::size_t a = 0; a <= 10; ++a) {
+    const double e = expected_max_load({0, 0, 0, 0}, a);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+
+TEST(ConflictModel, DistributionSumsToOneAndMatchesExpectation) {
+  const std::vector<std::vector<std::uint64_t>> bases{
+      {0, 0, 0}, {2, 0, 1, 0}, {0, 0, 0, 0, 0, 0, 0, 0}};
+  for (const auto& base : bases) {
+    for (const std::size_t a : {0u, 1u, 3u, 5u}) {
+      const auto dist = max_load_distribution(base, a);
+      double sum = 0, ex = 0;
+      for (std::size_t i = 0; i < dist.size(); ++i) {
+        EXPECT_GE(dist[i], -1e-12);
+        sum += dist[i];
+        ex += static_cast<double>(i) * dist[i];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+      EXPECT_NEAR(ex, expected_max_load(base, a), 1e-9);
+    }
+  }
+}
+
+TEST(ConflictModel, DistributionKnownCase) {
+  // 2 accesses over 2 modules: P(max=1) = 1/2, P(max=2) = 1/2.
+  const auto dist = max_load_distribution({0, 0}, 2);
+  ASSERT_EQ(dist.size(), 3u);
+  EXPECT_NEAR(dist[0], 0.0, 1e-12);
+  EXPECT_NEAR(dist[1], 0.5, 1e-12);
+  EXPECT_NEAR(dist[2], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace parmem::machine

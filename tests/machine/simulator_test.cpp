@@ -1,0 +1,388 @@
+#include "machine/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.h"
+
+namespace parmem::machine {
+namespace {
+
+analysis::Compiled compile(const std::string& src) {
+  analysis::PipelineOptions opts;
+  opts.sched.fu_count = 4;
+  opts.sched.module_count = 4;
+  opts.assign.module_count = 4;
+  return analysis::compile_mc(src, opts);
+}
+
+TEST(Simulator, LiwMatchesSequentialOutput) {
+  const auto c = compile(
+      "func main() { var s: int = 0; var i: int; for i = 1 to 10 { s = s + i "
+      "* i; } print(s); }");
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  const auto pair = analysis::run_and_check(c, cfg);  // throws on divergence
+  EXPECT_EQ(pair.liw.output, (std::vector<std::string>{"385"}));
+  // LIW executes fewer (or equal) words than the sequential op count.
+  EXPECT_LE(pair.liw.words_executed, pair.sequential.words_executed);
+}
+
+TEST(Simulator, LockStepReadsSeePreWordState) {
+  // A word packing `b = a` and `a = 0` must give b the OLD a: engineered
+  // directly as a hand-built program.
+  ir::LiwProgram p;
+  ir::ValueInfo vi;
+  vi.name = "a";
+  const auto a = p.values.add(vi);
+  vi.name = "b";
+  const auto b = p.values.add(vi);
+  {
+    ir::LiwWord w;  // a = 7
+    ir::TacInstr in;
+    in.op = ir::Opcode::kMov;
+    in.dst = a;
+    in.a = ir::Operand::imm(std::int64_t{7});
+    w.ops.push_back(in);
+    p.words.push_back(w);
+  }
+  {
+    ir::LiwWord w;  // b = a || a = 0   (same word)
+    ir::TacInstr in;
+    in.op = ir::Opcode::kMov;
+    in.dst = b;
+    in.a = ir::Operand::val(a);
+    w.ops.push_back(in);
+    ir::TacInstr in2;
+    in2.op = ir::Opcode::kMov;
+    in2.dst = a;
+    in2.a = ir::Operand::imm(std::int64_t{0});
+    w.ops.push_back(in2);
+    p.words.push_back(w);
+  }
+  {
+    ir::LiwWord w;  // print b ; halt
+    ir::TacInstr pr;
+    pr.op = ir::Opcode::kPrint;
+    pr.a = ir::Operand::val(b);
+    w.ops.push_back(pr);
+    ir::TacInstr h;
+    h.op = ir::Opcode::kHalt;
+    w.ops.push_back(h);
+    p.words.push_back(w);
+  }
+  assign::AssignResult asg;
+  asg.module_count = 2;
+  asg.placement = {assign::module_bit(0), assign::module_bit(1)};
+  MachineConfig cfg;
+  cfg.module_count = 2;
+  EXPECT_EQ(run_liw(p, asg, cfg).output, (std::vector<std::string>{"7"}));
+}
+
+TEST(Simulator, ConflictFreeAssignmentAvoidsStalls) {
+  // Two scalars in different modules fetched together: one cycle; in the
+  // same module: two cycles.
+  ir::LiwProgram p;
+  ir::ValueInfo vi;
+  vi.name = "a";
+  const auto a = p.values.add(vi);
+  vi.name = "b";
+  const auto b = p.values.add(vi);
+  vi.name = "c";
+  const auto c = p.values.add(vi);
+  ir::LiwWord w;
+  ir::TacInstr add;
+  add.op = ir::Opcode::kAdd;
+  add.dst = c;
+  add.a = ir::Operand::val(a);
+  add.b = ir::Operand::val(b);
+  w.ops.push_back(add);
+  ir::TacInstr h;
+  h.op = ir::Opcode::kHalt;
+  w.ops.push_back(h);
+  p.words.push_back(w);
+
+  MachineConfig cfg;
+  cfg.module_count = 2;
+
+  assign::AssignResult good;
+  good.module_count = 2;
+  good.placement = {assign::module_bit(0), assign::module_bit(1), 0};
+  const auto g = run_liw(p, good, cfg);
+  EXPECT_EQ(g.cycles, 1u);
+  EXPECT_EQ(g.conflict_words, 0u);
+
+  assign::AssignResult bad;
+  bad.module_count = 2;
+  bad.placement = {assign::module_bit(0), assign::module_bit(0), 0};
+  const auto r = run_liw(p, bad, cfg);
+  EXPECT_EQ(r.cycles, 2u);  // serialized fetches
+  EXPECT_EQ(r.conflict_words, 1u);
+}
+
+TEST(Simulator, DuplicatedCopyResolvesConflictAtRunTime) {
+  ir::LiwProgram p;
+  ir::ValueInfo vi;
+  vi.name = "a";
+  const auto a = p.values.add(vi);
+  vi.name = "b";
+  const auto b = p.values.add(vi);
+  vi.name = "c";
+  const auto c = p.values.add(vi);
+  ir::LiwWord w;
+  ir::TacInstr add;
+  add.op = ir::Opcode::kAdd;
+  add.dst = c;
+  add.a = ir::Operand::val(a);
+  add.b = ir::Operand::val(b);
+  w.ops.push_back(add);
+  ir::TacInstr h;
+  h.op = ir::Opcode::kHalt;
+  w.ops.push_back(h);
+  p.words.push_back(w);
+
+  MachineConfig cfg;
+  cfg.module_count = 2;
+  assign::AssignResult dup;
+  dup.module_count = 2;
+  // Both nominally in module 0, but b has a second copy in module 1: the
+  // simulator must find the distinct representatives.
+  dup.placement = {assign::module_bit(0),
+                   assign::module_bit(0) | assign::module_bit(1), 0};
+  const auto r = run_liw(p, dup, cfg);
+  EXPECT_EQ(r.cycles, 1u);
+  EXPECT_EQ(r.conflict_words, 0u);
+}
+
+TEST(Simulator, ArrayPolicies) {
+  const auto c = compile(
+      "func main() { array a: real[32]; var i: int; for i = 0 to 31 { a[i] = "
+      "real(i); } var s: real = 0.0; for i = 0 to 31 { s = s + a[i]; } "
+      "print(s); }");
+  MachineConfig cfg;
+  cfg.module_count = 4;
+
+  cfg.array_policy = ArrayPolicy::kIdealSpread;
+  const auto tmin = run_liw(c.liw, c.assignment, cfg);
+  cfg.array_policy = ArrayPolicy::kWorstCase;
+  const auto tmax = run_liw(c.liw, c.assignment, cfg);
+  cfg.array_policy = ArrayPolicy::kUniformRandom;
+  const auto tave = run_liw(c.liw, c.assignment, cfg);
+  cfg.array_policy = ArrayPolicy::kInterleaved;
+  const auto tint = run_liw(c.liw, c.assignment, cfg);
+  cfg.array_policy = ArrayPolicy::kSingleModule;
+  const auto tone = run_liw(c.liw, c.assignment, cfg);
+
+  // All policies compute the same result...
+  EXPECT_EQ(tmin.output, (std::vector<std::string>{"496"}));
+  EXPECT_EQ(tmax.output, tmin.output);
+  EXPECT_EQ(tave.output, tmin.output);
+  EXPECT_EQ(tint.output, tmin.output);
+  EXPECT_EQ(tone.output, tmin.output);
+  // ...but transfer times order as t_min <= {ave, interleaved,
+  // single-module} <= t_max.
+  EXPECT_LE(tmin.memory_transfer_time, tave.memory_transfer_time);
+  EXPECT_LE(tave.memory_transfer_time, tmax.memory_transfer_time);
+  EXPECT_LE(tmin.memory_transfer_time, tint.memory_transfer_time);
+  EXPECT_LE(tint.memory_transfer_time, tmax.memory_transfer_time);
+  EXPECT_LE(tone.memory_transfer_time, tmax.memory_transfer_time);
+  // The analytic estimate is policy-independent and sits in [t_min, t_max].
+  EXPECT_NEAR(tmin.analytic_transfer_time, tmax.analytic_transfer_time, 1e-9);
+  EXPECT_GE(tave.analytic_transfer_time,
+            static_cast<double>(tmin.memory_transfer_time) - 1e-9);
+  EXPECT_LE(tave.analytic_transfer_time,
+            static_cast<double>(tmax.memory_transfer_time) + 1e-9);
+}
+
+TEST(Simulator, AnalyticCloseToMonteCarloOnRealProgram) {
+  const auto c = compile(
+      "func main() { array a: real[64]; var i: int; for i = 0 to 63 { a[i] = "
+      "real(i) * 0.5; } var s: real = 0.0; for i = 0 to 63 { s = s + a[i] * "
+      "a[63 - i]; } print(s); }");
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  cfg.array_policy = ArrayPolicy::kUniformRandom;
+  // Average several seeds.
+  double mc = 0;
+  const int seeds = 20;
+  double analytic = 0;
+  for (int s = 0; s < seeds; ++s) {
+    cfg.seed = 1000 + static_cast<std::uint64_t>(s);
+    const auto r = run_liw(c.liw, c.assignment, cfg);
+    mc += static_cast<double>(r.memory_transfer_time);
+    analytic = r.analytic_transfer_time;
+  }
+  mc /= seeds;
+  EXPECT_NEAR(mc / analytic, 1.0, 0.05);
+}
+
+TEST(Simulator, HaltsRunawayPrograms) {
+  const auto c = compile(
+      "func main() { var i: int = 1; while (i > 0) { i = 2; } print(i); }");
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  cfg.max_words = 1000;
+  EXPECT_THROW(run_liw(c.liw, c.assignment, cfg), support::InternalError);
+  EXPECT_THROW(run_sequential(c.tac, cfg), support::InternalError);
+}
+
+TEST(Simulator, SpeedupOfWideMachine) {
+  // A loop with independent work per iteration: the 8-wide LIW machine must
+  // beat the sequential reference clearly (the paper reports 64-300%).
+  analysis::PipelineOptions opts;
+  opts.sched.fu_count = 8;
+  opts.sched.module_count = 8;
+  opts.assign.module_count = 8;
+  const auto c = analysis::compile_mc(
+      "func main() { var s1: int = 0; var s2: int = 0; var s3: int = 0; var "
+      "s4: int = 0; var i: int; for i = 1 to 50 { s1 = s1 + i; s2 = s2 + i * "
+      "i; s3 = s3 + i * 3; s4 = s4 + i - 2; } print(s1 + s2 + s3 + s4); }",
+      opts);
+  MachineConfig cfg;
+  cfg.module_count = 8;
+  const auto pair = analysis::run_and_check(c, cfg);
+  const double speedup = static_cast<double>(pair.sequential.cycles) /
+                         static_cast<double>(pair.liw.cycles);
+  EXPECT_GT(speedup, 1.5);
+}
+
+
+TEST(Simulator, DeltaScalesMemoryTime) {
+  const auto c = compile(
+      "func main() { var a: int = 1; var b: int = 2; print(a + b); }");
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  cfg.delta = 1;
+  const auto d1 = run_liw(c.liw, c.assignment, cfg);
+  cfg.delta = 3;
+  const auto d3 = run_liw(c.liw, c.assignment, cfg);
+  EXPECT_EQ(d3.memory_transfer_time, 3 * d1.memory_transfer_time);
+  EXPECT_GE(d3.cycles, d1.cycles);
+  EXPECT_EQ(d1.output, d3.output);
+}
+
+TEST(Simulator, ModuleHistogramAccountsForEveryAccess) {
+  const auto c = compile(
+      "func main() { array a: int[8]; var i: int; for i = 0 to 7 { a[i] = i; "
+      "} var s: int = 0; for i = 0 to 7 { s = s + a[i]; } print(s); }");
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  const auto r = run_liw(c.liw, c.assignment, cfg);
+  std::uint64_t histogram_total = 0;
+  for (const auto h : r.module_accesses) histogram_total += h;
+  EXPECT_EQ(histogram_total,
+            r.scalar_fetches + r.array_accesses + 2 * r.transfers_executed);
+}
+
+TEST(Simulator, CountWritesAddsTraffic) {
+  const auto c = compile(
+      "func main() { var a: int = 1; var b: int = a + 2; print(b); }");
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  cfg.count_writes = false;
+  const auto without = run_liw(c.liw, c.assignment, cfg);
+  cfg.count_writes = true;
+  const auto with = run_liw(c.liw, c.assignment, cfg);
+  EXPECT_GE(with.memory_transfer_time, without.memory_transfer_time);
+  EXPECT_EQ(with.output, without.output);
+}
+
+TEST(Simulator, InterleavedPolicyIsDeterministic) {
+  const auto c = compile(
+      "func main() { array a: real[16]; var i: int; for i = 0 to 15 { a[i] = "
+      "real(i); } print(a[7]); }");
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  cfg.array_policy = ArrayPolicy::kInterleaved;
+  const auto r1 = run_liw(c.liw, c.assignment, cfg);
+  cfg.seed = 999;  // seed must not matter for a deterministic policy
+  const auto r2 = run_liw(c.liw, c.assignment, cfg);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_EQ(r1.module_accesses, r2.module_accesses);
+}
+
+TEST(Simulator, RealPrintingUsesPrecision) {
+  const auto c = compile("func main() { print(1.0 / 3.0); print(2.5); }");
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  const auto r = run_liw(c.liw, c.assignment, cfg);
+  ASSERT_EQ(r.output.size(), 2u);
+  EXPECT_EQ(r.output[0], "0.333333333333");
+  EXPECT_EQ(r.output[1], "2.5");
+}
+
+TEST(Simulator, MismatchedAssignmentRejected) {
+  const auto c = compile("func main() { print(1); }");
+  assign::AssignResult bad;
+  bad.module_count = 4;
+  bad.placement.assign(c.liw.values.size() + 5, 0);  // wrong size
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  EXPECT_THROW(run_liw(c.liw, bad, cfg), support::InternalError);
+}
+
+
+TEST(Simulator, MemoryImagePresetsArrays) {
+  const auto c = compile(
+      "func main() { array a: int[4]; array b: real[2]; var i: int; "
+      "var s: int = 0; for i = 0 to 3 { s = s + a[i]; } print(s); "
+      "print(b[1]); }");
+  // Locate the arrays by declaration order (a = 0, b = 1).
+  MemoryImage image;
+  image.arrays.push_back({0, {10, 20, 30, 40}, {}});
+  image.arrays.push_back({1, {}, {0.0, 2.5}});
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  const auto r = run_liw(c.liw, c.assignment, cfg, image);
+  EXPECT_EQ(r.output, (std::vector<std::string>{"100", "2.5"}));
+  // The sequential machine accepts the same image.
+  const auto seq = run_sequential(c.tac, cfg, image);
+  EXPECT_EQ(seq.output, r.output);
+}
+
+TEST(Simulator, MemoryImageValidation) {
+  const auto c = compile("func main() { array a: int[2]; print(a[0]); }");
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  MemoryImage too_long;
+  too_long.arrays.push_back({0, {1, 2, 3}, {}});
+  EXPECT_THROW(run_liw(c.liw, c.assignment, cfg, too_long),
+               support::InternalError);
+  MemoryImage bad_id;
+  bad_id.arrays.push_back({9, {1}, {}});
+  EXPECT_THROW(run_liw(c.liw, c.assignment, cfg, bad_id),
+               support::InternalError);
+}
+
+TEST(Simulator, MaxLoadHistogramMatchesAnalyticShape) {
+  // A word-level empirical p(i): histogram entries must sum to the word
+  // count, and under uniform-random banks the mean of the histogram must
+  // approach the analytic expectation.
+  const auto c = compile(
+      "func main() { array a: real[64]; var i: int; for i = 0 to 63 { a[i] = "
+      "real(i); } var s: real = 0.0; for i = 0 to 63 { s = s + a[i]; } "
+      "print(s); }");
+  MachineConfig cfg;
+  cfg.module_count = 4;
+  cfg.array_policy = ArrayPolicy::kUniformRandom;
+  double mc_mean = 0;
+  const int seeds = 10;
+  double analytic = 0;
+  for (int sd = 0; sd < seeds; ++sd) {
+    cfg.seed = 40 + static_cast<std::uint64_t>(sd);
+    const auto r = run_liw(c.liw, c.assignment, cfg);
+    std::uint64_t words = 0, weighted = 0;
+    for (std::size_t i = 0; i < r.max_load_histogram.size(); ++i) {
+      words += r.max_load_histogram[i];
+      weighted += i * r.max_load_histogram[i];
+    }
+    EXPECT_EQ(words, r.words_executed);
+    EXPECT_EQ(weighted, r.memory_transfer_time);  // delta = 1
+    mc_mean += static_cast<double>(weighted);
+    analytic = r.analytic_transfer_time;
+  }
+  mc_mean /= seeds;
+  EXPECT_NEAR(mc_mean / analytic, 1.0, 0.06);
+}
+
+}  // namespace
+}  // namespace parmem::machine

@@ -1,0 +1,115 @@
+#include "support/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace parmem::support {
+namespace {
+
+TEST(BipartiteMatcher, EmptyInstanceMatchesEverything) {
+  BipartiteMatcher m(4);
+  EXPECT_EQ(m.solve(), 0u);
+  EXPECT_TRUE(m.all_matched());
+}
+
+TEST(BipartiteMatcher, PerfectMatchingOnDisjointChoices) {
+  BipartiteMatcher m(3);
+  m.add_left({0});
+  m.add_left({1});
+  m.add_left({2});
+  EXPECT_EQ(m.solve(), 3u);
+  EXPECT_TRUE(m.all_matched());
+  EXPECT_EQ(*m.match_of(0), 0u);
+  EXPECT_EQ(*m.match_of(1), 1u);
+  EXPECT_EQ(*m.match_of(2), 2u);
+}
+
+TEST(BipartiteMatcher, AugmentingPathReassignsEarlierChoice) {
+  // Left 0 can use {0,1}; left 1 only {0}. A greedy pass must push 0 off
+  // module 0 via an augmenting path.
+  BipartiteMatcher m(2);
+  m.add_left({0, 1});
+  m.add_left({0});
+  EXPECT_EQ(m.solve(), 2u);
+  EXPECT_TRUE(m.all_matched());
+  EXPECT_EQ(*m.match_of(0), 1u);
+  EXPECT_EQ(*m.match_of(1), 0u);
+}
+
+TEST(BipartiteMatcher, InfeasibleWhenHallConditionFails) {
+  BipartiteMatcher m(3);
+  m.add_left({0});
+  m.add_left({0});
+  EXPECT_EQ(m.solve(), 1u);
+  EXPECT_FALSE(m.all_matched());
+}
+
+TEST(BipartiteMatcher, RejectsOutOfRangeRight) {
+  BipartiteMatcher m(2);
+  EXPECT_THROW(m.add_left({2}), InternalError);
+}
+
+TEST(DistinctRepresentatives, PaperFig1AssignmentIsConflictFree) {
+  // Fig. 1: V1->M2, V2->M1, V3->M3, V4->M2, V5->M3 wait — matrix says
+  // V1:M2, V2:M1, V3:M3, V4:M1? The figure's 'X' matrix: V1 in M2, V2 in
+  // M1, V3 in M3 (V2V3 row shows X X spanning), V4 in M1, V5 in M1. What
+  // matters for this test: singleton choice sets, pairwise distinct per
+  // instruction.
+  // Instruction V1 V2 V4 with V1@M2, V2@M1, V4@M3:
+  EXPECT_TRUE(has_distinct_representatives({{1}, {0}, {2}}, 3));
+  // Instruction where two operands share their only module:
+  EXPECT_FALSE(has_distinct_representatives({{1}, {1}, {2}}, 3));
+  // A duplicated operand resolves it:
+  EXPECT_TRUE(has_distinct_representatives({{1}, {1, 0}, {2}}, 3));
+}
+
+TEST(DistinctRepresentatives, MoreOperandsThanModulesAlwaysConflicts) {
+  EXPECT_FALSE(has_distinct_representatives({{0, 1}, {0, 1}, {0, 1}}, 2));
+}
+
+TEST(DistinctRepresentatives, FindReturnsDistinctModules) {
+  const auto reps =
+      find_distinct_representatives({{0, 1}, {0, 1}, {2, 0}}, 3);
+  ASSERT_TRUE(reps.has_value());
+  EXPECT_EQ(reps->size(), 3u);
+  // All distinct.
+  EXPECT_NE((*reps)[0], (*reps)[1]);
+  EXPECT_NE((*reps)[0], (*reps)[2]);
+  EXPECT_NE((*reps)[1], (*reps)[2]);
+}
+
+TEST(DistinctRepresentatives, RandomizedAgainstBruteForce) {
+  SplitMix64 rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t k = 2 + rng.below(4);           // 2..5 modules
+    const std::size_t ops = 1 + rng.below(k + 1);     // up to k+1 operands
+    std::vector<std::vector<std::uint32_t>> choices(ops);
+    for (auto& c : choices) {
+      for (std::uint32_t m = 0; m < k; ++m) {
+        if (rng.uniform() < 0.4) c.push_back(m);
+      }
+      if (c.empty()) c.push_back(static_cast<std::uint32_t>(rng.below(k)));
+    }
+    // Brute force: try all assignments.
+    std::vector<std::uint32_t> pick(ops, 0);
+    bool feasible = false;
+    const auto rec = [&](auto&& self, std::size_t i, std::uint32_t used) {
+      if (feasible) return;
+      if (i == ops) {
+        feasible = true;
+        return;
+      }
+      for (const std::uint32_t m : choices[i]) {
+        if (used & (1u << m)) continue;
+        self(self, i + 1, used | (1u << m));
+      }
+    };
+    rec(rec, 0, 0);
+    EXPECT_EQ(has_distinct_representatives(choices, k), feasible)
+        << "iteration " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace parmem::support

@@ -1,0 +1,87 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace parmem::support {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64, BelowStaysInRange) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(SplitMix64, BelowOneAlwaysZero) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(SplitMix64, BelowZeroRejected) {
+  SplitMix64 rng(3);
+  EXPECT_THROW(rng.below(0), InternalError);
+}
+
+TEST(SplitMix64, RangeInclusive) {
+  SplitMix64 rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear
+}
+
+TEST(SplitMix64, UniformInUnitInterval) {
+  SplitMix64 rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(SplitMix64, ShufflePermutes) {
+  SplitMix64 rng(9);
+  std::array<int, 8> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::multiset<int> sv(v.begin(), v.end()), sw(w.begin(), w.end());
+  EXPECT_EQ(sv, sw);  // same elements
+}
+
+TEST(SplitMix64, BelowIsRoughlyUniform) {
+  SplitMix64 rng(13);
+  std::array<int, 8> counts{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 80);  // within 10% of expectation
+  }
+}
+
+}  // namespace
+}  // namespace parmem::support

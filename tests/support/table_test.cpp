@@ -1,0 +1,52 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace parmem::support {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "=1", ">1"});
+  t.add_row({"TAYLOR1", "79", "1"});
+  t.add_row({"FFT", "20", "0"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| TAYLOR1 |"), std::string::npos);
+  EXPECT_NE(out.find("| name    |"), std::string::npos);
+  // Numeric columns right-aligned.
+  EXPECT_NE(out.find("| 79 |"), std::string::npos);
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+  TextTable t({"a"});
+  t.add_row({"x"});
+  t.add_rule();
+  t.add_row({"y"});
+  const std::string out = t.render();
+  // Header rule + inner rule + top/bottom = at least 4 rules.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TextTable, RejectsRowWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InternalError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), InternalError);
+}
+
+TEST(FormatFixed, RoundsToDigits) {
+  EXPECT_EQ(format_fixed(1.0785, 2), "1.08");
+  EXPECT_EQ(format_fixed(2.0, 2), "2.00");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace parmem::support

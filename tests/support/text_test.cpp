@@ -1,0 +1,43 @@
+#include "support/text.h"
+
+#include <gtest/gtest.h>
+
+namespace parmem::support {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto f = split("a,b,c", ',');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto f = split(",x,", ',');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[1], "x");
+  EXPECT_EQ(f[2], "");
+}
+
+TEST(Trim, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("STOR1", "STOR"));
+  EXPECT_FALSE(starts_with("ST", "STOR"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+}  // namespace
+}  // namespace parmem::support
