@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/atoms_ablation.cpp" "bench-cmake/CMakeFiles/atoms_ablation.dir/atoms_ablation.cpp.o" "gcc" "bench-cmake/CMakeFiles/atoms_ablation.dir/atoms_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/parmem_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/parmem_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/parmem_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/parmem_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/parmem_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/parmem_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/parmem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/parmem_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/parmem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/atoms_ablation"
+  "../bench/atoms_ablation.pdb"
+  "CMakeFiles/atoms_ablation.dir/atoms_ablation.cpp.o"
+  "CMakeFiles/atoms_ablation.dir/atoms_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atoms_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/coloring_scaling"
+  "../bench/coloring_scaling.pdb"
+  "CMakeFiles/coloring_scaling.dir/coloring_scaling.cpp.o"
+  "CMakeFiles/coloring_scaling.dir/coloring_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coloring_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

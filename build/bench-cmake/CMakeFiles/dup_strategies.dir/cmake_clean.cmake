@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dup_strategies"
+  "../bench/dup_strategies.pdb"
+  "CMakeFiles/dup_strategies.dir/dup_strategies.cpp.o"
+  "CMakeFiles/dup_strategies.dir/dup_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figures_repro"
+  "../bench/figures_repro.pdb"
+  "CMakeFiles/figures_repro.dir/figures_repro.cpp.o"
+  "CMakeFiles/figures_repro.dir/figures_repro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/graph_size_study"
+  "../bench/graph_size_study.pdb"
+  "CMakeFiles/graph_size_study.dir/graph_size_study.cpp.o"
+  "CMakeFiles/graph_size_study.dir/graph_size_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_size_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ifconvert_ablation"
+  "../bench/ifconvert_ablation.pdb"
+  "CMakeFiles/ifconvert_ablation.dir/ifconvert_ablation.cpp.o"
+  "CMakeFiles/ifconvert_ablation.dir/ifconvert_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifconvert_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

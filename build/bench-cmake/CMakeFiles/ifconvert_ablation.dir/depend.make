@@ -1,0 +1,2 @@
+# Empty dependencies file for ifconvert_ablation.
+# This may be replaced when dependencies are built.

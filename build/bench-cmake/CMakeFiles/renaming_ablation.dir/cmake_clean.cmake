@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/renaming_ablation"
+  "../bench/renaming_ablation.pdb"
+  "CMakeFiles/renaming_ablation.dir/renaming_ablation.cpp.o"
+  "CMakeFiles/renaming_ablation.dir/renaming_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renaming_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sched_priority_ablation"
+  "../bench/sched_priority_ablation.pdb"
+  "CMakeFiles/sched_priority_ablation.dir/sched_priority_ablation.cpp.o"
+  "CMakeFiles/sched_priority_ablation.dir/sched_priority_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_priority_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

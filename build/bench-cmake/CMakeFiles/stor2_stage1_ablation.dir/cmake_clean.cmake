@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/stor2_stage1_ablation"
+  "../bench/stor2_stage1_ablation.pdb"
+  "CMakeFiles/stor2_stage1_ablation.dir/stor2_stage1_ablation.cpp.o"
+  "CMakeFiles/stor2_stage1_ablation.dir/stor2_stage1_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stor2_stage1_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

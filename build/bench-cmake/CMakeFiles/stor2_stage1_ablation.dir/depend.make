@@ -1,0 +1,2 @@
+# Empty dependencies file for stor2_stage1_ablation.
+# This may be replaced when dependencies are built.

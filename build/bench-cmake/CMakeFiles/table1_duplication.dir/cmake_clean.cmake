@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_duplication"
+  "../bench/table1_duplication.pdb"
+  "CMakeFiles/table1_duplication.dir/table1_duplication.cpp.o"
+  "CMakeFiles/table1_duplication.dir/table1_duplication.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_array_conflicts"
+  "../bench/table2_array_conflicts.pdb"
+  "CMakeFiles/table2_array_conflicts.dir/table2_array_conflicts.cpp.o"
+  "CMakeFiles/table2_array_conflicts.dir/table2_array_conflicts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_array_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_stream.dir/assign_stream.cpp.o"
+  "CMakeFiles/assign_stream.dir/assign_stream.cpp.o.d"
+  "assign_stream"
+  "assign_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_sweep.dir/bank_sweep.cpp.o"
+  "CMakeFiles/bank_sweep.dir/bank_sweep.cpp.o.d"
+  "bank_sweep"
+  "bank_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_cache_plan.dir/shared_cache_plan.cpp.o"
+  "CMakeFiles/shared_cache_plan.dir/shared_cache_plan.cpp.o.d"
+  "shared_cache_plan"
+  "shared_cache_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_cache_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmem_analysis.dir/pipeline.cpp.o"
+  "CMakeFiles/parmem_analysis.dir/pipeline.cpp.o.d"
+  "libparmem_analysis.a"
+  "libparmem_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmem_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

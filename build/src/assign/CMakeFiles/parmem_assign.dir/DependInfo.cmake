@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/assigner.cpp" "src/assign/CMakeFiles/parmem_assign.dir/assigner.cpp.o" "gcc" "src/assign/CMakeFiles/parmem_assign.dir/assigner.cpp.o.d"
+  "/root/repo/src/assign/backtrack.cpp" "src/assign/CMakeFiles/parmem_assign.dir/backtrack.cpp.o" "gcc" "src/assign/CMakeFiles/parmem_assign.dir/backtrack.cpp.o.d"
+  "/root/repo/src/assign/color_heuristic.cpp" "src/assign/CMakeFiles/parmem_assign.dir/color_heuristic.cpp.o" "gcc" "src/assign/CMakeFiles/parmem_assign.dir/color_heuristic.cpp.o.d"
+  "/root/repo/src/assign/conflict_graph.cpp" "src/assign/CMakeFiles/parmem_assign.dir/conflict_graph.cpp.o" "gcc" "src/assign/CMakeFiles/parmem_assign.dir/conflict_graph.cpp.o.d"
+  "/root/repo/src/assign/exact.cpp" "src/assign/CMakeFiles/parmem_assign.dir/exact.cpp.o" "gcc" "src/assign/CMakeFiles/parmem_assign.dir/exact.cpp.o.d"
+  "/root/repo/src/assign/hitting_set.cpp" "src/assign/CMakeFiles/parmem_assign.dir/hitting_set.cpp.o" "gcc" "src/assign/CMakeFiles/parmem_assign.dir/hitting_set.cpp.o.d"
+  "/root/repo/src/assign/hitting_set_approach.cpp" "src/assign/CMakeFiles/parmem_assign.dir/hitting_set_approach.cpp.o" "gcc" "src/assign/CMakeFiles/parmem_assign.dir/hitting_set_approach.cpp.o.d"
+  "/root/repo/src/assign/placement.cpp" "src/assign/CMakeFiles/parmem_assign.dir/placement.cpp.o" "gcc" "src/assign/CMakeFiles/parmem_assign.dir/placement.cpp.o.d"
+  "/root/repo/src/assign/placement_state.cpp" "src/assign/CMakeFiles/parmem_assign.dir/placement_state.cpp.o" "gcc" "src/assign/CMakeFiles/parmem_assign.dir/placement_state.cpp.o.d"
+  "/root/repo/src/assign/verify.cpp" "src/assign/CMakeFiles/parmem_assign.dir/verify.cpp.o" "gcc" "src/assign/CMakeFiles/parmem_assign.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/parmem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/parmem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmem_assign.dir/assigner.cpp.o"
+  "CMakeFiles/parmem_assign.dir/assigner.cpp.o.d"
+  "CMakeFiles/parmem_assign.dir/backtrack.cpp.o"
+  "CMakeFiles/parmem_assign.dir/backtrack.cpp.o.d"
+  "CMakeFiles/parmem_assign.dir/color_heuristic.cpp.o"
+  "CMakeFiles/parmem_assign.dir/color_heuristic.cpp.o.d"
+  "CMakeFiles/parmem_assign.dir/conflict_graph.cpp.o"
+  "CMakeFiles/parmem_assign.dir/conflict_graph.cpp.o.d"
+  "CMakeFiles/parmem_assign.dir/exact.cpp.o"
+  "CMakeFiles/parmem_assign.dir/exact.cpp.o.d"
+  "CMakeFiles/parmem_assign.dir/hitting_set.cpp.o"
+  "CMakeFiles/parmem_assign.dir/hitting_set.cpp.o.d"
+  "CMakeFiles/parmem_assign.dir/hitting_set_approach.cpp.o"
+  "CMakeFiles/parmem_assign.dir/hitting_set_approach.cpp.o.d"
+  "CMakeFiles/parmem_assign.dir/placement.cpp.o"
+  "CMakeFiles/parmem_assign.dir/placement.cpp.o.d"
+  "CMakeFiles/parmem_assign.dir/placement_state.cpp.o"
+  "CMakeFiles/parmem_assign.dir/placement_state.cpp.o.d"
+  "CMakeFiles/parmem_assign.dir/verify.cpp.o"
+  "CMakeFiles/parmem_assign.dir/verify.cpp.o.d"
+  "libparmem_assign.a"
+  "libparmem_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmem_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

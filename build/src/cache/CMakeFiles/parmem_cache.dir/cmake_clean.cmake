@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmem_cache.dir/shared_cache.cpp.o"
+  "CMakeFiles/parmem_cache.dir/shared_cache.cpp.o.d"
+  "libparmem_cache.a"
+  "libparmem_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmem_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparmem_cache.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmem_frontend.dir/ast.cpp.o"
+  "CMakeFiles/parmem_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/parmem_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/parmem_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/parmem_frontend.dir/parser.cpp.o"
+  "CMakeFiles/parmem_frontend.dir/parser.cpp.o.d"
+  "CMakeFiles/parmem_frontend.dir/sema.cpp.o"
+  "CMakeFiles/parmem_frontend.dir/sema.cpp.o.d"
+  "CMakeFiles/parmem_frontend.dir/unroll.cpp.o"
+  "CMakeFiles/parmem_frontend.dir/unroll.cpp.o.d"
+  "libparmem_frontend.a"
+  "libparmem_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmem_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/atoms.cpp" "src/graph/CMakeFiles/parmem_graph.dir/atoms.cpp.o" "gcc" "src/graph/CMakeFiles/parmem_graph.dir/atoms.cpp.o.d"
+  "/root/repo/src/graph/coloring.cpp" "src/graph/CMakeFiles/parmem_graph.dir/coloring.cpp.o" "gcc" "src/graph/CMakeFiles/parmem_graph.dir/coloring.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/parmem_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/parmem_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/parmem_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/parmem_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/mcsm.cpp" "src/graph/CMakeFiles/parmem_graph.dir/mcsm.cpp.o" "gcc" "src/graph/CMakeFiles/parmem_graph.dir/mcsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmem_graph.dir/atoms.cpp.o"
+  "CMakeFiles/parmem_graph.dir/atoms.cpp.o.d"
+  "CMakeFiles/parmem_graph.dir/coloring.cpp.o"
+  "CMakeFiles/parmem_graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/parmem_graph.dir/dot.cpp.o"
+  "CMakeFiles/parmem_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/parmem_graph.dir/graph.cpp.o"
+  "CMakeFiles/parmem_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/parmem_graph.dir/mcsm.cpp.o"
+  "CMakeFiles/parmem_graph.dir/mcsm.cpp.o.d"
+  "libparmem_graph.a"
+  "libparmem_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmem_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/access.cpp" "src/ir/CMakeFiles/parmem_ir.dir/access.cpp.o" "gcc" "src/ir/CMakeFiles/parmem_ir.dir/access.cpp.o.d"
+  "/root/repo/src/ir/liveness.cpp" "src/ir/CMakeFiles/parmem_ir.dir/liveness.cpp.o" "gcc" "src/ir/CMakeFiles/parmem_ir.dir/liveness.cpp.o.d"
+  "/root/repo/src/ir/liw.cpp" "src/ir/CMakeFiles/parmem_ir.dir/liw.cpp.o" "gcc" "src/ir/CMakeFiles/parmem_ir.dir/liw.cpp.o.d"
+  "/root/repo/src/ir/region.cpp" "src/ir/CMakeFiles/parmem_ir.dir/region.cpp.o" "gcc" "src/ir/CMakeFiles/parmem_ir.dir/region.cpp.o.d"
+  "/root/repo/src/ir/stream_io.cpp" "src/ir/CMakeFiles/parmem_ir.dir/stream_io.cpp.o" "gcc" "src/ir/CMakeFiles/parmem_ir.dir/stream_io.cpp.o.d"
+  "/root/repo/src/ir/tac.cpp" "src/ir/CMakeFiles/parmem_ir.dir/tac.cpp.o" "gcc" "src/ir/CMakeFiles/parmem_ir.dir/tac.cpp.o.d"
+  "/root/repo/src/ir/value.cpp" "src/ir/CMakeFiles/parmem_ir.dir/value.cpp.o" "gcc" "src/ir/CMakeFiles/parmem_ir.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

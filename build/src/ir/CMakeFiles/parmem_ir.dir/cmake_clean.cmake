@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmem_ir.dir/access.cpp.o"
+  "CMakeFiles/parmem_ir.dir/access.cpp.o.d"
+  "CMakeFiles/parmem_ir.dir/liveness.cpp.o"
+  "CMakeFiles/parmem_ir.dir/liveness.cpp.o.d"
+  "CMakeFiles/parmem_ir.dir/liw.cpp.o"
+  "CMakeFiles/parmem_ir.dir/liw.cpp.o.d"
+  "CMakeFiles/parmem_ir.dir/region.cpp.o"
+  "CMakeFiles/parmem_ir.dir/region.cpp.o.d"
+  "CMakeFiles/parmem_ir.dir/stream_io.cpp.o"
+  "CMakeFiles/parmem_ir.dir/stream_io.cpp.o.d"
+  "CMakeFiles/parmem_ir.dir/tac.cpp.o"
+  "CMakeFiles/parmem_ir.dir/tac.cpp.o.d"
+  "CMakeFiles/parmem_ir.dir/value.cpp.o"
+  "CMakeFiles/parmem_ir.dir/value.cpp.o.d"
+  "libparmem_ir.a"
+  "libparmem_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmem_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lower/ifconvert.cpp" "src/lower/CMakeFiles/parmem_lower.dir/ifconvert.cpp.o" "gcc" "src/lower/CMakeFiles/parmem_lower.dir/ifconvert.cpp.o.d"
+  "/root/repo/src/lower/lower.cpp" "src/lower/CMakeFiles/parmem_lower.dir/lower.cpp.o" "gcc" "src/lower/CMakeFiles/parmem_lower.dir/lower.cpp.o.d"
+  "/root/repo/src/lower/opt.cpp" "src/lower/CMakeFiles/parmem_lower.dir/opt.cpp.o" "gcc" "src/lower/CMakeFiles/parmem_lower.dir/opt.cpp.o.d"
+  "/root/repo/src/lower/rename.cpp" "src/lower/CMakeFiles/parmem_lower.dir/rename.cpp.o" "gcc" "src/lower/CMakeFiles/parmem_lower.dir/rename.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/parmem_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/parmem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

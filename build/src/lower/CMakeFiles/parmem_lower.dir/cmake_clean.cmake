@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmem_lower.dir/ifconvert.cpp.o"
+  "CMakeFiles/parmem_lower.dir/ifconvert.cpp.o.d"
+  "CMakeFiles/parmem_lower.dir/lower.cpp.o"
+  "CMakeFiles/parmem_lower.dir/lower.cpp.o.d"
+  "CMakeFiles/parmem_lower.dir/opt.cpp.o"
+  "CMakeFiles/parmem_lower.dir/opt.cpp.o.d"
+  "CMakeFiles/parmem_lower.dir/rename.cpp.o"
+  "CMakeFiles/parmem_lower.dir/rename.cpp.o.d"
+  "libparmem_lower.a"
+  "libparmem_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmem_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

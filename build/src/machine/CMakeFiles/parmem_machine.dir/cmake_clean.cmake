@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmem_machine.dir/conflict_model.cpp.o"
+  "CMakeFiles/parmem_machine.dir/conflict_model.cpp.o.d"
+  "CMakeFiles/parmem_machine.dir/simulator.cpp.o"
+  "CMakeFiles/parmem_machine.dir/simulator.cpp.o.d"
+  "libparmem_machine.a"
+  "libparmem_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmem_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

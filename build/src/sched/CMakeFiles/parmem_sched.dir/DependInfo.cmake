@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/ddg.cpp" "src/sched/CMakeFiles/parmem_sched.dir/ddg.cpp.o" "gcc" "src/sched/CMakeFiles/parmem_sched.dir/ddg.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/sched/CMakeFiles/parmem_sched.dir/list_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/parmem_sched.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/transfer_sched.cpp" "src/sched/CMakeFiles/parmem_sched.dir/transfer_sched.cpp.o" "gcc" "src/sched/CMakeFiles/parmem_sched.dir/transfer_sched.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/parmem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/parmem_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/parmem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

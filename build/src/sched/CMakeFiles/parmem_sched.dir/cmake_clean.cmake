@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmem_sched.dir/ddg.cpp.o"
+  "CMakeFiles/parmem_sched.dir/ddg.cpp.o.d"
+  "CMakeFiles/parmem_sched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/parmem_sched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/parmem_sched.dir/transfer_sched.cpp.o"
+  "CMakeFiles/parmem_sched.dir/transfer_sched.cpp.o.d"
+  "libparmem_sched.a"
+  "libparmem_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmem_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

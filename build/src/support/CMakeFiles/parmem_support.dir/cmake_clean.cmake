@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmem_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/parmem_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/parmem_support.dir/matching.cpp.o"
+  "CMakeFiles/parmem_support.dir/matching.cpp.o.d"
+  "CMakeFiles/parmem_support.dir/table.cpp.o"
+  "CMakeFiles/parmem_support.dir/table.cpp.o.d"
+  "CMakeFiles/parmem_support.dir/text.cpp.o"
+  "CMakeFiles/parmem_support.dir/text.cpp.o.d"
+  "libparmem_support.a"
+  "libparmem_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmem_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmem_workloads.dir/stream_gen.cpp.o"
+  "CMakeFiles/parmem_workloads.dir/stream_gen.cpp.o.d"
+  "CMakeFiles/parmem_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/parmem_workloads.dir/workloads.cpp.o.d"
+  "libparmem_workloads.a"
+  "libparmem_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmem_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assign/assigner_test.cpp" "tests/CMakeFiles/test_assign.dir/assign/assigner_test.cpp.o" "gcc" "tests/CMakeFiles/test_assign.dir/assign/assigner_test.cpp.o.d"
+  "/root/repo/tests/assign/backtrack_test.cpp" "tests/CMakeFiles/test_assign.dir/assign/backtrack_test.cpp.o" "gcc" "tests/CMakeFiles/test_assign.dir/assign/backtrack_test.cpp.o.d"
+  "/root/repo/tests/assign/color_heuristic_test.cpp" "tests/CMakeFiles/test_assign.dir/assign/color_heuristic_test.cpp.o" "gcc" "tests/CMakeFiles/test_assign.dir/assign/color_heuristic_test.cpp.o.d"
+  "/root/repo/tests/assign/conflict_graph_test.cpp" "tests/CMakeFiles/test_assign.dir/assign/conflict_graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_assign.dir/assign/conflict_graph_test.cpp.o.d"
+  "/root/repo/tests/assign/exact_test.cpp" "tests/CMakeFiles/test_assign.dir/assign/exact_test.cpp.o" "gcc" "tests/CMakeFiles/test_assign.dir/assign/exact_test.cpp.o.d"
+  "/root/repo/tests/assign/hitting_set_test.cpp" "tests/CMakeFiles/test_assign.dir/assign/hitting_set_test.cpp.o" "gcc" "tests/CMakeFiles/test_assign.dir/assign/hitting_set_test.cpp.o.d"
+  "/root/repo/tests/assign/paper_examples_test.cpp" "tests/CMakeFiles/test_assign.dir/assign/paper_examples_test.cpp.o" "gcc" "tests/CMakeFiles/test_assign.dir/assign/paper_examples_test.cpp.o.d"
+  "/root/repo/tests/assign/placement_test.cpp" "tests/CMakeFiles/test_assign.dir/assign/placement_test.cpp.o" "gcc" "tests/CMakeFiles/test_assign.dir/assign/placement_test.cpp.o.d"
+  "/root/repo/tests/assign/property_test.cpp" "tests/CMakeFiles/test_assign.dir/assign/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_assign.dir/assign/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assign/CMakeFiles/parmem_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/parmem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/parmem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assign.dir/assign/assigner_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/assigner_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/backtrack_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/backtrack_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/color_heuristic_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/color_heuristic_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/conflict_graph_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/conflict_graph_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/exact_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/exact_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/hitting_set_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/hitting_set_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/paper_examples_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/paper_examples_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/placement_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/placement_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/property_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/property_test.cpp.o.d"
+  "test_assign"
+  "test_assign.pdb"
+  "test_assign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

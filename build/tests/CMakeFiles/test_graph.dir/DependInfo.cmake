@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/atoms_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/atoms_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/atoms_test.cpp.o.d"
+  "/root/repo/tests/graph/coloring_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/coloring_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/coloring_test.cpp.o.d"
+  "/root/repo/tests/graph/dot_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/dot_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/dot_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/graph/mcsm_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/mcsm_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/mcsm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/parmem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/access_test.cpp" "tests/CMakeFiles/test_ir.dir/ir/access_test.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/access_test.cpp.o.d"
+  "/root/repo/tests/ir/liveness_test.cpp" "tests/CMakeFiles/test_ir.dir/ir/liveness_test.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/liveness_test.cpp.o.d"
+  "/root/repo/tests/ir/region_test.cpp" "tests/CMakeFiles/test_ir.dir/ir/region_test.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/region_test.cpp.o.d"
+  "/root/repo/tests/ir/stream_io_test.cpp" "tests/CMakeFiles/test_ir.dir/ir/stream_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/stream_io_test.cpp.o.d"
+  "/root/repo/tests/ir/tac_test.cpp" "tests/CMakeFiles/test_ir.dir/ir/tac_test.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/tac_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/parmem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/ir/access_test.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/access_test.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/liveness_test.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/liveness_test.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/region_test.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/region_test.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/stream_io_test.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/stream_io_test.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/tac_test.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/tac_test.cpp.o.d"
+  "test_ir"
+  "test_ir.pdb"
+  "test_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
