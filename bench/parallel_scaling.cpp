@@ -1,0 +1,149 @@
+// Thread-pool scaling for the atom-parallel assignment pipeline.
+//
+// Two axes, matching the two fan-out levels in analysis/pipeline.cpp:
+//   1. compile_batch over a batch of independent programs (job-level
+//      parallelism: each job is a full compile);
+//   2. a single large localized synthetic stream assigned in atom-task mode
+//      (atom-level parallelism inside one assignment).
+// Each axis is timed at 1/2/4/8 threads (plus the legacy threads == 0
+// sweep for reference) and the speedup over threads == 1 is reported.
+// Before timing, every configuration's result is checked bit-identical to
+// the threads == 1 result — a thread count that changed the output would
+// make the timing meaningless.
+//
+// NOTE: speedups are only observable when the host actually has spare
+// cores; on a single-core machine every configuration degenerates to ~1.0x
+// (the pool adds only scheduling overhead). EXPERIMENTS.md records the
+// numbers together with the core count of the measurement host.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "assign/assigner.h"
+#include "support/thread_pool.h"
+#include "workloads/stream_gen.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace parmem;
+
+constexpr int kReps = 3;  // best-of to damp scheduler noise
+
+template <typename F>
+double best_of(F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+std::vector<std::string> batch_sources() {
+  std::vector<std::string> sources;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& w : workloads::all_workloads()) {
+      sources.push_back(w.source);
+    }
+  }
+  return sources;
+}
+
+void bench_batch() {
+  const auto sources = batch_sources();
+  analysis::PipelineOptions opts;
+  opts.unroll.max_trip = 16;
+  opts.rename = true;
+
+  std::printf("== compile_batch: %zu jobs ==\n", sources.size());
+  opts.parallel.threads = 1;
+  const auto reference = analysis::compile_batch(sources, opts);
+
+  double base_ms = 0;
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    analysis::PipelineOptions o = opts;
+    o.parallel.threads = threads;
+    std::vector<analysis::Compiled> got;
+    const double ms = best_of([&] { got = analysis::compile_batch(sources, o); });
+
+    bool identical = threads == 0;  // legacy path: different algorithm
+    if (threads >= 1) {
+      identical = got.size() == reference.size();
+      for (std::size_t i = 0; identical && i < got.size(); ++i) {
+        identical = got[i].assignment.placement ==
+                        reference[i].assignment.placement &&
+                    got[i].liw.to_string() == reference[i].liw.to_string();
+      }
+      if (!identical) {
+        std::printf("threads=%zu: RESULT MISMATCH — bench aborted\n", threads);
+        return;
+      }
+    }
+    if (threads == 1) base_ms = ms;
+    if (threads == 0) {
+      std::printf("  threads=0 (legacy sweep)   %8.2f ms\n", ms);
+    } else {
+      std::printf("  threads=%zu                  %8.2f ms   speedup %.2fx\n",
+                  threads, ms, base_ms > 0 ? base_ms / ms : 1.0);
+    }
+  }
+}
+
+void bench_atoms() {
+  support::SplitMix64 rng(0xbe9c5);
+  workloads::StreamGenOptions g;
+  g.value_count = 4096;
+  g.tuple_count = 20000;
+  g.min_width = 2;
+  g.max_width = 4;
+  g.locality_window = 24;  // rich clique-separator structure, many atoms
+  g.region_count = 8;
+  const ir::AccessStream stream = workloads::random_stream(g, rng);
+
+  assign::AssignOptions o;
+  o.module_count = 4;
+  o.strategy = assign::Strategy::kStor3;
+
+  std::printf("\n== atom-task assignment: %zu values, %zu tuples ==\n",
+              stream.value_count, stream.tuples.size());
+  support::ThreadPool ref_pool(0);
+  assign::AssignOptions ref_opts = o;
+  ref_opts.pool = &ref_pool;
+  const auto reference = assign::assign_modules(stream, ref_opts);
+
+  double base_ms = 0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    support::ThreadPool pool(threads - 1);
+    assign::AssignOptions po = o;
+    po.pool = &pool;
+    assign::AssignResult r;
+    const double ms = best_of([&] { r = assign::assign_modules(stream, po); });
+    if (r.placement != reference.placement) {
+      std::printf("threads=%zu: RESULT MISMATCH — bench aborted\n", threads);
+      return;
+    }
+    if (threads == 1) base_ms = ms;
+    std::printf("  threads=%zu  %8.2f ms   speedup %.2fx\n", threads, ms,
+                base_ms > 0 ? base_ms / ms : 1.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("parallel_scaling: hardware_concurrency=%u\n\n",
+              std::thread::hardware_concurrency());
+  bench_batch();
+  bench_atoms();
+  return 0;
+}

@@ -4,10 +4,12 @@
 #include "frontend/sema.h"
 #include "lower/lower.h"
 #include "support/diagnostics.h"
+#include "support/thread_pool.h"
 
 namespace parmem::analysis {
 
-Compiled compile_mc(const std::string& source, const PipelineOptions& opts) {
+Compiled compile_mc(const std::string& source, const PipelineOptions& opts,
+                    support::ThreadPool* pool) {
   Compiled c;
 
   frontend::Program ast = frontend::parse(source);
@@ -27,11 +29,46 @@ Compiled compile_mc(const std::string& source, const PipelineOptions& opts) {
   c.liw = sched::schedule(c.tac, opts.sched, &c.sched_stats);
   c.stream = ir::AccessStream::from_liw(c.liw, opts.include_writes,
                                         opts.duplicate_mutables);
-  c.assignment = assign::assign_modules(c.stream, opts.assign);
+  assign::AssignOptions assign_opts = opts.assign;
+  assign_opts.pool = pool;
+  c.assignment = assign::assign_modules(c.stream, assign_opts);
   c.verify = assign::verify_assignment(c.stream, c.assignment);
   c.transfer_stats =
       sched::schedule_transfers(c.liw, c.assignment, opts.sched.fu_count);
   return c;
+}
+
+Compiled compile_mc(const std::string& source, const PipelineOptions& opts) {
+  const std::size_t threads = opts.parallel.effective_threads();
+  if (threads == 0) {
+    return compile_mc(source, opts, nullptr);
+  }
+  // The calling thread participates in parallel_for, so a pool of
+  // threads - 1 workers gives `threads` execution contexts; threads == 1 is
+  // the zero-worker serial fallback running the same atom tasks inline.
+  support::ThreadPool pool(threads - 1);
+  return compile_mc(source, opts, &pool);
+}
+
+std::vector<Compiled> compile_batch(const std::vector<std::string>& sources,
+                                    const PipelineOptions& opts) {
+  std::vector<Compiled> out(sources.size());
+  const std::size_t threads = opts.parallel.effective_threads();
+  if (threads == 0) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      out[i] = compile_mc(sources[i], opts, nullptr);
+    }
+    return out;
+  }
+  support::ThreadPool pool(threads - 1);
+  pool.parallel_for(sources.size(), [&](std::size_t i) {
+    // Jobs on workers run their inner atom fan-out inline (nested
+    // parallel_for); jobs picked up by the calling thread may re-enter the
+    // pool. Either way each job is a pure function of its source, so the
+    // batch result is schedule-independent.
+    out[i] = compile_mc(sources[i], opts, &pool);
+  });
+  return out;
 }
 
 ExecutionPair run_and_check(const Compiled& compiled,

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "assign/assigner.h"
 #include "assign/verify.h"
@@ -21,9 +22,14 @@
 #include "lower/lower.h"
 #include "lower/opt.h"
 #include "lower/rename.h"
+#include "machine/config.h"
 #include "machine/simulator.h"
 #include "sched/list_scheduler.h"
 #include "sched/transfer_sched.h"
+
+namespace parmem::support {
+class ThreadPool;
+}
 
 namespace parmem::analysis {
 
@@ -48,6 +54,12 @@ struct PipelineOptions {
   /// Allow duplicating mutable values (each copy refreshed by a scheduled
   /// transfer after every definition). On = the paper's §2 value model.
   bool duplicate_mutables = true;
+  /// Compile-time parallelism: atom-parallel assignment inside one compile
+  /// and worker farm-out across compile_batch() jobs. threads == 0 keeps the
+  /// legacy sequential sweep; every threads >= 1 selects the deterministic
+  /// atom-task mode and produces byte-identical results (threads == 1 runs
+  /// the same tasks inline — the "serial" side of the differential tests).
+  machine::ParallelConfig parallel;
 };
 
 struct Compiled {
@@ -64,8 +76,23 @@ struct Compiled {
   ir::LiwProgram liw;                 // final program, transfers included
 };
 
-/// Compiles MC source through the whole pipeline.
+/// Compiles MC source through the whole pipeline. Honours opts.parallel by
+/// creating a pool for the duration of the call when threads > 1.
 Compiled compile_mc(const std::string& source, const PipelineOptions& opts);
+
+/// As above but on an externally owned pool (null pool == the legacy serial
+/// path, regardless of opts.parallel). compile_batch uses this to share one
+/// pool across jobs; nested fan-out inside a job runs inline on its worker.
+Compiled compile_mc(const std::string& source, const PipelineOptions& opts,
+                    support::ThreadPool* pool);
+
+/// Compiles independent sources, farming the jobs across a pool sized by
+/// opts.parallel. Results arrive in input order and job i depends only on
+/// sources[i] and opts, so the batch is byte-identical for every thread
+/// count; if jobs throw, the smallest failing index's exception is
+/// rethrown.
+std::vector<Compiled> compile_batch(const std::vector<std::string>& sources,
+                                    const PipelineOptions& opts);
 
 /// Convenience: run the compiled program and its sequential reference,
 /// checking that their outputs agree (throws InternalError on divergence).

@@ -1,6 +1,7 @@
 #include "assign/assigner.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "assign/backtrack.h"
 #include "assign/conflict_graph.h"
@@ -8,6 +9,7 @@
 #include "assign/placement_state.h"
 #include "support/diagnostics.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace parmem::assign {
 
@@ -40,6 +42,113 @@ struct PassContext {
   support::SplitMix64* rng;
   AssignStats* stats;
 };
+
+/// The configured duplication method over one instruction set, mutating
+/// `st` and drawing from `rng`.
+void run_duplication(PassContext& ctx,
+                     const std::vector<std::vector<ir::ValueId>>& insts,
+                     PlacementState& st, support::SplitMix64& rng) {
+  switch (ctx.opts->method) {
+    case DupMethod::kBacktracking: {
+      backtrack_duplicate(st, insts, *ctx.removed, ctx.stream->duplicatable,
+                          rng);
+      break;
+    }
+    case DupMethod::kHittingSet: {
+      const auto out = hitting_set_duplicate(st, insts, *ctx.removed,
+                                             ctx.stream->duplicatable, rng);
+      ctx.stats->duplication_rounds += out.rounds;
+      break;
+    }
+  }
+}
+
+/// Runs the duplication phase per atom on the pool. Every instruction's
+/// operand set is pairwise conflicting — a clique of the pass's conflict
+/// graph — and clique-separator decomposition never splits a clique, so each
+/// instruction lives entirely inside some atom; instructions contained in
+/// several atoms (wholly inside a separator) go to the earliest one in
+/// processing order. Each task copies the placement state, draws from its
+/// own seeded RNG, and can only *add* copies — added copies never invalidate
+/// an SDR, so resolutions from different atoms compose — which makes the
+/// stable-order merge of the per-atom deltas schedule-independent.
+void duplicate_atom_parallel(
+    PassContext& ctx, const std::vector<std::vector<ir::ValueId>>& insts,
+    const ConflictGraph& cg,
+    const std::vector<std::vector<graph::Vertex>>& atoms) {
+  const ir::AccessStream& stream = *ctx.stream;
+  const AssignOptions& opts = *ctx.opts;
+
+  std::vector<std::vector<std::uint32_t>> member(cg.vertex_count());
+  for (std::uint32_t a = 0; a < atoms.size(); ++a) {
+    for (const graph::Vertex v : atoms[a]) member[v].push_back(a);
+  }
+
+  std::vector<std::vector<std::vector<ir::ValueId>>> per_atom(atoms.size());
+  std::vector<std::vector<ir::ValueId>> residual;
+  for (const auto& ops : insts) {
+    std::vector<std::uint32_t> cand =
+        member[static_cast<std::size_t>(cg.vertex_of(ops[0]))];
+    for (std::size_t i = 1; i < ops.size() && !cand.empty(); ++i) {
+      const auto& other =
+          member[static_cast<std::size_t>(cg.vertex_of(ops[i]))];
+      std::vector<std::uint32_t> kept;
+      std::set_intersection(cand.begin(), cand.end(), other.begin(),
+                            other.end(), std::back_inserter(kept));
+      cand = std::move(kept);
+    }
+    if (cand.empty()) {
+      residual.push_back(ops);  // defensive: theory says this cannot happen
+    } else {
+      per_atom[cand.front()].push_back(ops);
+    }
+  }
+
+  struct Delta {
+    std::vector<std::pair<ir::ValueId, ModuleSet>> added;
+    std::size_t rounds = 0;
+  };
+  std::vector<Delta> deltas(atoms.size());
+  // One pass-RNG draw seeds every atom stream, keeping the pass stream's
+  // consumption independent of the atom count.
+  const std::uint64_t base_seed = ctx.rng->next();
+  opts.pool->parallel_for(atoms.size(), [&](std::size_t i) {
+    if (per_atom[i].empty()) return;
+    PlacementState local = *ctx.st;
+    support::SplitMix64 rng(base_seed + i);
+    std::size_t rounds = 0;
+    switch (opts.method) {
+      case DupMethod::kBacktracking: {
+        backtrack_duplicate(local, per_atom[i], *ctx.removed,
+                            stream.duplicatable, rng);
+        break;
+      }
+      case DupMethod::kHittingSet: {
+        const auto out = hitting_set_duplicate(local, per_atom[i],
+                                               *ctx.removed,
+                                               stream.duplicatable, rng);
+        rounds = out.rounds;
+        break;
+      }
+    }
+    Delta& d = deltas[i];
+    d.rounds = rounds;
+    for (ir::ValueId v = 0; v < stream.value_count; ++v) {
+      const ModuleSet extra = local.placement(v) & ~ctx.st->placement(v);
+      if (extra != 0) d.added.emplace_back(v, extra);
+    }
+  });
+
+  for (const Delta& d : deltas) {
+    for (const auto& [v, extra] : d.added) {
+      for (const std::uint32_t m : modules_of(extra)) ctx.st->add_copy(v, m);
+    }
+    ctx.stats->duplication_rounds += d.rounds;
+  }
+  if (!residual.empty()) {
+    run_duplication(ctx, residual, *ctx.st, *ctx.rng);
+  }
+}
 
 /// One assignment pass over a set of instructions (operand lists already
 /// filtered for the strategy stage): color the undecided values, then run
@@ -86,7 +195,7 @@ void run_pass(PassContext& ctx,
   ColorResult cr;
   if (!any_skip) {
     cr = color_conflict_graph(cg, {opts.module_count, opts.use_atoms,
-                                   opts.pick},
+                                   opts.pick, opts.pool},
                               precolored, never_remove, ctx.module_load);
   } else {
     // Rebuild instructions without the already-removed values; their
@@ -114,8 +223,8 @@ void run_pass(PassContext& ctx,
       pre2[v] = precolored[static_cast<std::size_t>(vx)];
     }
     const ColorResult cr2 = color_conflict_graph(
-        cg2, {opts.module_count, opts.use_atoms, opts.pick}, pre2, nr2,
-        ctx.module_load);
+        cg2, {opts.module_count, opts.use_atoms, opts.pick, opts.pool}, pre2,
+        nr2, ctx.module_load);
     // Map back onto the full-graph indexing.
     cr.module.assign(n, kUnassignedModule);
     for (graph::Vertex v = 0; v < n2; ++v) {
@@ -152,19 +261,14 @@ void run_pass(PassContext& ctx,
   }
   ctx.stats->forced += cr.forced.size();
 
-  // Duplication phase over this pass's instructions.
-  switch (opts.method) {
-    case DupMethod::kBacktracking: {
-      backtrack_duplicate(*ctx.st, insts, *ctx.removed, stream.duplicatable,
-                          *ctx.rng);
-      break;
-    }
-    case DupMethod::kHittingSet: {
-      const auto out = hitting_set_duplicate(*ctx.st, insts, *ctx.removed,
-                                             stream.duplicatable, *ctx.rng);
-      ctx.stats->duplication_rounds += out.rounds;
-      break;
-    }
+  // Duplication phase over this pass's instructions. In atom-parallel mode
+  // the instructions partition along the coloring's atoms (the skip branch
+  // above leaves cr.atoms empty, so later STOR2/3 passes over previously
+  // reduced graphs keep the serial path).
+  if (opts.pool != nullptr && cr.atoms.size() > 1) {
+    duplicate_atom_parallel(ctx, insts, cg, cr.atoms);
+  } else {
+    run_duplication(ctx, insts, *ctx.st, *ctx.rng);
   }
 
   // Safety net: every value seen in this pass must end with >= 1 copy.

@@ -20,6 +20,10 @@
 #include "assign/module_set.h"
 #include "ir/access.h"
 
+namespace parmem::support {
+class ThreadPool;
+}
+
 namespace parmem::assign {
 
 enum class Strategy : std::uint8_t { kStor1, kStor2, kStor3 };
@@ -44,6 +48,16 @@ struct AssignOptions {
   bool use_atoms = true;
   ModulePick pick = ModulePick::kLeastLoaded;
   std::uint64_t seed = 0x5eedULL;
+  /// Atom-parallel mode (see ColorOptions::pool): when set, each pass colors
+  /// its clique-separator atoms as independent pool tasks and then runs the
+  /// duplication/placement phase per atom — every instruction's operand set
+  /// is a clique of the conflict graph, and cliques are never split across
+  /// atoms, so instructions partition cleanly. Per-atom tasks draw from
+  /// their own seeded RNG and only ever *add* copies, so the stable-order
+  /// merge is byte-identical for every worker count (a zero-worker pool is
+  /// the serial execution of the same task graph). Null (default) keeps the
+  /// legacy fully sequential path.
+  support::ThreadPool* pool = nullptr;
 };
 
 struct AssignStats {

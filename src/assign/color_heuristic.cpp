@@ -8,6 +8,7 @@
 
 #include "graph/atoms.h"
 #include "support/diagnostics.h"
+#include "support/thread_pool.h"
 
 namespace parmem::assign {
 namespace {
@@ -157,6 +158,80 @@ void color_atom(const ConflictGraph& cg, const std::vector<Vertex>& atom,
   }
 }
 
+/// Atom-parallel coloring. The sequential sweep couples atoms two ways: a
+/// later atom starts from the separator vertices its predecessors colored,
+/// and every pick reads the shared module-load counters. This variant cuts
+/// both couplings at a deterministic point instead: all vertices shared
+/// between atoms (the union of the clique separators) are colored first,
+/// inline; each atom then colors its interior as a pure function of that
+/// frontier and a load snapshot. Interiors of distinct atoms share no edge
+/// (a vertex in exactly one atom has its whole neighborhood inside it), so
+/// the tasks are independent and the merge — applied in stable atom order —
+/// is identical for every execution schedule.
+void color_atoms_parallel(const ConflictGraph& cg,
+                          const std::vector<graph::Atom>& atoms,
+                          const ColorOptions& opts,
+                          std::vector<bool>& decided,
+                          const std::vector<bool>& never_remove,
+                          std::vector<std::size_t>& load,
+                          ColorResult& result) {
+  const std::size_t n = cg.vertex_count();
+
+  std::vector<std::uint8_t> occur(n, 0);
+  for (const graph::Atom& a : atoms) {
+    for (const Vertex v : a.vertices) {
+      if (occur[v] < 2) ++occur[v];
+    }
+  }
+  std::vector<Vertex> shared;
+  for (Vertex v = 0; v < n; ++v) {
+    if (occur[v] >= 2) shared.push_back(v);
+  }
+  if (!shared.empty()) {
+    color_atom(cg, shared, opts, result.module, decided, never_remove, load,
+               result);
+  }
+
+  struct Delta {
+    std::vector<std::pair<Vertex, std::int32_t>> colored;
+    std::vector<Vertex> unassigned;  // in removal order
+    std::vector<Vertex> forced;
+    std::vector<std::size_t> load_delta;
+  };
+  std::vector<Delta> deltas(atoms.size());
+  opts.pool->parallel_for(atoms.size(), [&](std::size_t i) {
+    std::vector<std::int32_t> module = result.module;  // frontier snapshot
+    std::vector<bool> local_decided = decided;
+    std::vector<std::size_t> local_load = load;
+    ColorResult local;
+    color_atom(cg, atoms[i].vertices, opts, module, local_decided,
+               never_remove, local_load, local);
+    Delta& d = deltas[i];
+    for (const Vertex v : atoms[i].vertices) {
+      if (!decided[v] && module[v] >= 0) d.colored.emplace_back(v, module[v]);
+    }
+    d.unassigned = std::move(local.unassigned);
+    d.forced = std::move(local.forced);
+    d.load_delta.resize(load.size());
+    for (std::size_t m = 0; m < load.size(); ++m) {
+      d.load_delta[m] = local_load[m] - load[m];
+    }
+  });
+
+  for (Delta& d : deltas) {
+    for (const auto& [v, m] : d.colored) {
+      result.module[v] = m;
+      decided[v] = true;
+    }
+    for (const Vertex v : d.unassigned) {
+      decided[v] = true;
+      result.unassigned.push_back(v);
+    }
+    for (const Vertex v : d.forced) result.forced.push_back(v);
+    for (std::size_t m = 0; m < load.size(); ++m) load[m] += d.load_delta[m];
+  }
+}
+
 }  // namespace
 
 ColorResult color_conflict_graph(const ConflictGraph& cg,
@@ -196,9 +271,19 @@ ColorResult color_conflict_graph(const ConflictGraph& cg,
     auto atoms = graph::decompose_by_clique_separators(cg.graph());
     // Reverse generation order: each atom then meets the already-colored
     // part exactly in its clique separator (see atoms.h).
-    for (auto it = atoms.rbegin(); it != atoms.rend(); ++it) {
-      color_atom(cg, it->vertices, opts, result.module, decided, never_remove,
-                 load, result);
+    std::reverse(atoms.begin(), atoms.end());
+    if (opts.pool != nullptr) {
+      color_atoms_parallel(cg, atoms, opts, decided, never_remove, load,
+                           result);
+    } else {
+      for (const graph::Atom& atom : atoms) {
+        color_atom(cg, atom.vertices, opts, result.module, decided,
+                   never_remove, load, result);
+      }
+    }
+    result.atoms.reserve(atoms.size());
+    for (graph::Atom& atom : atoms) {
+      result.atoms.push_back(std::move(atom.vertices));
     }
   } else if (n > 0) {
     std::vector<graph::Vertex> all(n);

@@ -24,6 +24,10 @@
 
 #include "assign/conflict_graph.h"
 
+namespace parmem::support {
+class ThreadPool;
+}
+
 namespace parmem::assign {
 
 /// How the heuristic picks among several admissible modules
@@ -39,6 +43,16 @@ struct ColorOptions {
   /// colors the whole graph in one sweep (the atoms-ablation bench).
   bool use_atoms = true;
   ModulePick pick = ModulePick::kLeastLoaded;
+  /// Atom-parallel mode. When null (default), atoms are colored by the
+  /// legacy sequential sweep, each atom seeing its predecessors' coloring
+  /// and module-load state. When set, the separator vertices (those shared
+  /// between atoms) are colored first, inline, and then every atom colors
+  /// its interior as an independent task on the pool from a snapshot of that
+  /// frontier; per-atom results are merged in stable atom order. Tasks are
+  /// pure functions of the snapshot, so the result is byte-identical for
+  /// every worker count — a pool with zero workers is the serial execution
+  /// of the same decomposition.
+  support::ThreadPool* pool = nullptr;
 };
 
 inline constexpr std::int32_t kUnassignedModule = -1;
@@ -51,6 +65,10 @@ struct ColorResult {
   std::vector<graph::Vertex> unassigned;
   /// Never-remove vertices that had to be forced into a conflicting module.
   std::vector<graph::Vertex> forced;
+  /// Clique-separator atoms in processing order (reverse generation order),
+  /// as vertex lists; empty when atoms were disabled. The assigner's
+  /// atom-parallel duplication partitions instructions along these.
+  std::vector<std::vector<graph::Vertex>> atoms;
 };
 
 /// Runs the heuristic.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/diagnostics.h"
+#include "support/thread_pool.h"
 
 namespace parmem::graph {
 
@@ -79,6 +80,29 @@ Coloring dsatur(const Graph& g, std::size_t k) {
     }
     coloring[best] = first_free_color(g, coloring, best, k);
     done[best] = true;
+  }
+  return coloring;
+}
+
+Coloring dsatur_components(const Graph& g, std::size_t k,
+                           support::ThreadPool* pool) {
+  const auto comps = g.components();
+  Coloring coloring(g.vertex_count(), kUncolored);
+  // Each task colors its component's induced subgraph and writes only its
+  // own vertices' slots, so the result is schedule-independent.
+  std::vector<Coloring> local(comps.size());
+  const auto color_one = [&](std::size_t i) {
+    local[i] = dsatur(g.induced(comps[i]), k);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(comps.size(), color_one);
+  } else {
+    for (std::size_t i = 0; i < comps.size(); ++i) color_one(i);
+  }
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    for (std::size_t j = 0; j < comps[i].size(); ++j) {
+      coloring[comps[i][j]] = local[i][j];
+    }
   }
   return coloring;
 }

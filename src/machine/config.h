@@ -7,6 +7,7 @@
 // (§3's timing model: t = Σ i·Δ·p(i)).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace parmem::machine {
@@ -36,6 +37,26 @@ enum class ArrayPolicy : std::uint8_t {
 };
 
 const char* array_policy_name(ArrayPolicy p);
+
+/// Compile-time parallelism knobs — how many threads the compiler itself
+/// (atom-parallel assignment, batch compilation) may use; nothing here
+/// affects the simulated machine.
+///
+/// `threads == 0` selects the legacy sequential sweep: atoms are colored one
+/// after another, each seeing its predecessors' module-load state.
+/// `threads >= 1` selects the deterministic atom-task decomposition
+/// (separators first, then independent per-atom tasks merged in stable atom
+/// order); every value >= 1 produces byte-identical results — `threads == 1`
+/// runs the same tasks inline and is the "serial" side of the differential
+/// tests, `threads == t` runs them on t-1 pool workers plus the caller.
+struct ParallelConfig {
+  std::size_t threads = 0;
+  /// Diagnostic escape hatch: ignore `threads` and force the legacy
+  /// sequential path.
+  bool force_serial = false;
+
+  std::size_t effective_threads() const { return force_serial ? 0 : threads; }
+};
 
 struct MachineConfig {
   std::size_t fu_count = 8;

@@ -1,0 +1,88 @@
+// Work-stealing thread pool for the atom-parallel assignment pipeline.
+//
+// Design goals, in priority order: determinism of results, simplicity under
+// ThreadSanitizer, then throughput. Tasks are coarse (coloring one
+// clique-separator atom, one whole compile), so the pool uses per-worker
+// deques guarded by a single lock — LIFO pop of the own deque for locality,
+// FIFO steal from the others — rather than lock-free Chase-Lev deques;
+// contention is negligible at this granularity.
+//
+// Determinism contract used throughout the repo: a parallel_for body must be
+// a pure function of its index that writes only its own output slot. Then
+// the merged result is identical for every worker count, including zero —
+// the serial fallback, which runs every body inline in index order. Nested
+// parallel_for calls (a task that itself fans out, e.g. the atom loop inside
+// a batch-compile job) execute inline on the calling task's thread, so one
+// pool serves both levels without deadlock.
+#pragma once
+
+#include <cstddef>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace parmem::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` worker threads. Zero workers is the serial
+  /// fallback: every task runs inline on the submitting thread.
+  explicit ThreadPool(std::size_t worker_count);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Runs body(0) .. body(n-1), blocking until all have finished. The
+  /// calling thread participates in the work, so total concurrency is
+  /// worker_count() + 1. If bodies throw, the exception of the smallest
+  /// index is rethrown once every body has finished. With zero workers, or
+  /// when called from inside another pool task, bodies run inline in index
+  /// order.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Schedules a single task; exceptions propagate through the future.
+  /// With zero workers the task runs inline before returning.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    run_or_enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+ private:
+  using Task = std::function<void()>;
+
+  /// Runs inline (zero workers / inside a task) or round-robins the task
+  /// onto a worker deque.
+  void run_or_enqueue(Task task);
+  void enqueue(Task task);
+  /// Pops the back of deque `preferred`, else steals the front of another.
+  /// Caller must hold mu_. Returns false if every deque is empty.
+  bool try_take(std::size_t preferred, Task& out);
+  void worker_loop(std::size_t id);
+  /// Executes a task with the thread marked as in-task (nested parallel_for
+  /// detection).
+  static void run_task(const Task& task);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<Task>> queues_;
+  std::size_t next_queue_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace parmem::support

@@ -1,0 +1,186 @@
+// Differential proof that the atom-parallel assignment pipeline is
+// deterministic: for every workload, the "serial" run (the same atom-task
+// decomposition executed inline — threads == 1 / a zero-worker pool) and
+// parallel runs at several worker counts must produce byte-identical
+// AssignResults — placements, removals, and statistics — and identical
+// downstream transfer schedules and LIW programs. verify_assignment must
+// pass on both sides.
+//
+// The legacy sequential sweep (threads == 0) is a *different* deterministic
+// algorithm — atoms there see their predecessors' module-load state — so it
+// is checked for invariants, not for byte equality (see DESIGN.md's
+// threading-model section).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "assign/verify.h"
+#include "support/thread_pool.h"
+#include "workloads/stream_gen.h"
+#include "workloads/workloads.h"
+
+namespace parmem::analysis {
+namespace {
+
+using assign::AssignOptions;
+using assign::AssignResult;
+
+/// Full structural equality of two assignment results.
+void expect_identical(const AssignResult& a, const AssignResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.module_count, b.module_count) << label;
+  EXPECT_EQ(a.placement, b.placement) << label << ": placements differ";
+  EXPECT_EQ(a.removed, b.removed) << label << ": removal sets differ";
+  EXPECT_EQ(a.stats.values_used, b.stats.values_used) << label;
+  EXPECT_EQ(a.stats.single_copy, b.stats.single_copy) << label;
+  EXPECT_EQ(a.stats.multi_copy, b.stats.multi_copy) << label;
+  EXPECT_EQ(a.stats.total_copies, b.stats.total_copies) << label;
+  EXPECT_EQ(a.stats.unassigned_after_coloring,
+            b.stats.unassigned_after_coloring)
+      << label;
+  EXPECT_EQ(a.stats.forced, b.stats.forced) << label;
+  EXPECT_EQ(a.stats.residual_conflict_tuples,
+            b.stats.residual_conflict_tuples)
+      << label;
+  EXPECT_EQ(a.stats.duplication_rounds, b.stats.duplication_rounds) << label;
+}
+
+AssignResult assign_with_workers(const ir::AccessStream& stream,
+                                 AssignOptions opts, std::size_t workers) {
+  support::ThreadPool pool(workers);
+  opts.pool = &pool;
+  return assign::assign_modules(stream, opts);
+}
+
+// >= 50 seeded stream_gen workloads spanning module counts, strategies,
+// duplication methods, locality (atom structure) and region shapes.
+TEST(ParallelDifferential, FiftySeededWorkloadsMatchSerialBitForBit) {
+  const std::size_t module_counts[] = {2, 4, 8};
+  const assign::Strategy strategies[] = {assign::Strategy::kStor1,
+                                         assign::Strategy::kStor2,
+                                         assign::Strategy::kStor3};
+  const assign::DupMethod methods[] = {assign::DupMethod::kHittingSet,
+                                       assign::DupMethod::kBacktracking};
+
+  int checked = 0;
+  for (std::uint64_t seed = 1; seed <= 54; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    support::SplitMix64 rng(seed * 0x9e3779b97f4a7c15ULL);
+    const std::size_t k = module_counts[seed % 3];
+    workloads::StreamGenOptions g;
+    g.value_count = 32 + rng.below(96);
+    g.tuple_count = 64 + rng.below(192);
+    g.min_width = 2;
+    // Tuples wider than k can never be conflict-free, so cap the width to
+    // keep verify_assignment a meaningful oracle.
+    g.max_width = std::min(k, 2 + rng.below(4));
+    g.region_count = 1 + rng.below(4);
+    // Mostly small windows: clique-separator structure, many atoms.
+    g.locality_window = rng.below(3) == 0 ? 0 : 8 + rng.below(24);
+    const ir::AccessStream stream = workloads::random_stream(g, rng);
+
+    AssignOptions o;
+    o.module_count = k;
+    o.strategy = strategies[(seed / 3) % 3];
+    o.method = methods[seed % 2];
+    o.seed = 0x5eedULL + seed;
+
+    const AssignResult serial = assign_with_workers(stream, o, 0);
+    const AssignResult par2 = assign_with_workers(stream, o, 2);
+    const AssignResult par4 = assign_with_workers(stream, o, 4);
+    expect_identical(serial, par2, "2 workers vs serial");
+    expect_identical(serial, par4, "4 workers vs serial");
+
+    EXPECT_TRUE(assign::verify_assignment(stream, serial).ok());
+    EXPECT_TRUE(assign::verify_assignment(stream, par4).ok());
+
+    // The legacy sequential sweep is a different algorithm but must satisfy
+    // the same invariants on the same stream.
+    AssignOptions legacy = o;
+    legacy.pool = nullptr;
+    EXPECT_TRUE(
+        assign::verify_assignment(stream, assign::assign_modules(stream, legacy))
+            .ok());
+    ++checked;
+  }
+  EXPECT_GE(checked, 50);
+}
+
+// Whole-pipeline differential on the paper's six workloads: modules, copies
+// and transfer schedules of threads == 1 and threads == 4 must agree.
+TEST(ParallelDifferential, PipelineTransferSchedulesMatch) {
+  for (const auto& w : workloads::all_workloads()) {
+    SCOPED_TRACE(w.name);
+    PipelineOptions opts;
+    opts.unroll.max_trip = 8;
+    opts.rename = true;
+
+    PipelineOptions serial_opts = opts;
+    serial_opts.parallel.threads = 1;
+    PipelineOptions par_opts = opts;
+    par_opts.parallel.threads = 4;
+
+    const Compiled serial = compile_mc(w.source, serial_opts);
+    const Compiled par = compile_mc(w.source, par_opts);
+
+    expect_identical(serial.assignment, par.assignment, w.name);
+    EXPECT_EQ(serial.transfer_stats.transfers, par.transfer_stats.transfers);
+    EXPECT_EQ(serial.transfer_stats.words_added,
+              par.transfer_stats.words_added);
+    EXPECT_EQ(serial.transfer_stats.preloaded_copies,
+              par.transfer_stats.preloaded_copies);
+    EXPECT_EQ(serial.liw.to_string(), par.liw.to_string());
+    EXPECT_TRUE(serial.verify.ok());
+    EXPECT_TRUE(par.verify.ok());
+  }
+}
+
+// compile_batch at several thread counts == the per-source serial compiles,
+// in order, bit for bit.
+TEST(ParallelDifferential, BatchMatchesPerSourceSerialCompiles) {
+  std::vector<std::string> sources;
+  for (const auto& w : workloads::all_workloads()) sources.push_back(w.source);
+  // Repeat to exercise queue contention beyond worker count.
+  const std::vector<std::string> once = sources;
+  sources.insert(sources.end(), once.begin(), once.end());
+
+  PipelineOptions opts;
+  opts.unroll.max_trip = 4;
+  opts.parallel.threads = 1;
+  std::vector<Compiled> expected;
+  for (const std::string& s : sources) expected.push_back(compile_mc(s, opts));
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    PipelineOptions bopts = opts;
+    bopts.parallel.threads = threads;
+    const std::vector<Compiled> got = compile_batch(sources, bopts);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_identical(expected[i].assignment, got[i].assignment,
+                       "job " + std::to_string(i) + " at " +
+                           std::to_string(threads) + " threads");
+      EXPECT_EQ(expected[i].liw.to_string(), got[i].liw.to_string());
+    }
+  }
+}
+
+// force_serial is the documented escape hatch: it must reproduce the legacy
+// path exactly.
+TEST(ParallelDifferential, ForceSerialReproducesLegacyPath) {
+  const auto& w = workloads::all_workloads().front();
+  PipelineOptions legacy;
+  const Compiled a = compile_mc(w.source, legacy);
+
+  PipelineOptions forced;
+  forced.parallel.threads = 8;
+  forced.parallel.force_serial = true;
+  const Compiled b = compile_mc(w.source, forced);
+  expect_identical(a.assignment, b.assignment, "force_serial");
+  EXPECT_EQ(a.liw.to_string(), b.liw.to_string());
+}
+
+}  // namespace
+}  // namespace parmem::analysis

@@ -11,6 +11,7 @@
 #include "assign/verify.h"
 #include "support/matching.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace parmem::assign {
 namespace {
@@ -118,6 +119,61 @@ TEST_P(AssignProperty, MutableValuesRespectSingleCopy) {
       EXPECT_FALSE(support::has_distinct_representatives(fixed_choices,
                                                          cfg.module_count))
           << "tuple " << ti << " conflicts despite resolvable mutable core";
+    }
+  }
+}
+
+// Randomized access streams across k ∈ {2, 4, 8}: the verify.h invariants
+// I1 (no statically predictable conflict survives) and I8 (no mutable value
+// carries more than one copy) must hold for every strategy × method drawn,
+// in both the legacy serial path and the atom-parallel mode. Failures name
+// the seed so a violation replays with a one-line loop edit.
+TEST(AssignPropertyRandomized, InvariantsHoldAcrossModuleCounts) {
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      SCOPED_TRACE("k=" + std::to_string(k) + " seed=" + std::to_string(seed));
+      support::SplitMix64 rng(seed * 0x2545f4914f6cdd1dULL + k);
+      const std::size_t nv = 8 + rng.below(40);
+      const std::size_t nt = 6 + rng.below(60);
+      auto s = random_stream(rng, nv, nt,
+                             std::max<std::size_t>(2, std::min(k, std::size_t{4})),
+                             1 + rng.below(3));
+      // A random quarter of the values is mutable — I8's subject matter.
+      for (ir::ValueId v = 0; v < nv; ++v) {
+        if (rng.below(4) == 0) s.duplicatable[v] = false;
+      }
+
+      AssignOptions o;
+      o.module_count = k;
+      o.strategy = static_cast<Strategy>(rng.below(3));
+      o.method = static_cast<DupMethod>(rng.below(2));
+      o.seed = seed;
+
+      const auto check = [&](const AssignResult& r, const char* mode) {
+        const auto report = verify_assignment(s, r);
+        // I8 and well-formedness are unconditional.
+        EXPECT_TRUE(report.illegal_duplicates.empty())
+            << mode << ": mutable value duplicated (I8)";
+        EXPECT_TRUE(report.missing_values.empty())
+            << mode << ": accessed value lost all copies";
+        // I1 may only fail where mutable operands alone already collide.
+        for (const std::uint32_t ti : report.conflicting_tuples) {
+          std::vector<std::vector<std::uint32_t>> fixed;
+          for (const ir::ValueId v : s.tuples[ti].operands) {
+            if (!s.duplicatable[v]) fixed.push_back(modules_of(r.placement[v]));
+          }
+          EXPECT_FALSE(support::has_distinct_representatives(fixed, k))
+              << mode << ": tuple " << ti
+              << " conflicts despite resolvable mutable core (I1)";
+        }
+        for (const ModuleSet m : r.placement) EXPECT_LE(copy_count(m), k);
+      };
+
+      check(assign_modules(s, o), "legacy-serial");
+      support::ThreadPool pool(3);
+      AssignOptions po = o;
+      po.pool = &pool;
+      check(assign_modules(s, po), "atom-parallel");
     }
   }
 }

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <vector>
+
+#include "support/thread_pool.h"
 
 namespace parmem::graph {
 namespace {
@@ -79,6 +82,39 @@ TEST(Coloring, ChromaticNumbers) {
   EXPECT_EQ(chromatic_number(Graph::cycle(5)), 3u);
   EXPECT_EQ(chromatic_number(Graph::cycle(6)), 2u);
   EXPECT_EQ(chromatic_number(Graph::complete(5)), 5u);
+}
+
+TEST(Coloring, ComponentsColorLikeWholeGraphAndIgnorePoolSize) {
+  support::SplitMix64 rng(77);
+  for (int iter = 0; iter < 10; ++iter) {
+    // A deliberately disconnected graph: several random blobs side by side.
+    Graph g(0);
+    const int blobs = 2 + static_cast<int>(rng.below(3));
+    std::vector<Graph> parts;
+    std::size_t total = 0;
+    for (int b = 0; b < blobs; ++b) {
+      parts.push_back(Graph::random(3 + rng.below(6), 0.5, rng));
+      total += parts.back().vertex_count();
+    }
+    g = Graph(total);
+    std::size_t base = 0;
+    for (const Graph& p : parts) {
+      for (Vertex u = 0; u < p.vertex_count(); ++u) {
+        for (const Vertex v : p.neighbors(u)) {
+          if (u < v) g.add_edge(base + u, base + v);
+        }
+      }
+      base += p.vertex_count();
+    }
+
+    const std::size_t k = 4;
+    const auto inline_result = dsatur_components(g, k, nullptr);
+    EXPECT_TRUE(is_valid_coloring(g, inline_result, k));
+
+    support::ThreadPool pool(3);
+    EXPECT_EQ(dsatur_components(g, k, &pool), inline_result)
+        << "iter " << iter << ": pooled run differs from inline run";
+  }
 }
 
 TEST(Coloring, HeuristicsNeverBeatExact) {
