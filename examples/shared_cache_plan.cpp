@@ -3,6 +3,7 @@
 // simultaneous reads by different processors hit different caches.
 //
 //   build/examples/shared_cache_plan
+#include <algorithm>
 #include <cstdio>
 
 #include "cache/shared_cache.h"

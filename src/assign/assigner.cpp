@@ -7,6 +7,7 @@
 #include "assign/conflict_graph.h"
 #include "assign/hitting_set_approach.h"
 #include "assign/placement_state.h"
+#include "assign/workspace.h"
 #include "support/diagnostics.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
@@ -41,22 +42,25 @@ struct PassContext {
   std::vector<std::size_t>* module_load;
   support::SplitMix64* rng;
   AssignStats* stats;
+  AssignWorkspace* ws;  // serial-path scratch, reused across passes
 };
 
 /// The configured duplication method over one instruction set, mutating
 /// `st` and drawing from `rng`.
 void run_duplication(PassContext& ctx,
                      const std::vector<std::vector<ir::ValueId>>& insts,
-                     PlacementState& st, support::SplitMix64& rng) {
+                     PlacementState& st, support::SplitMix64& rng,
+                     AssignWorkspace* ws) {
   switch (ctx.opts->method) {
     case DupMethod::kBacktracking: {
       backtrack_duplicate(st, insts, *ctx.removed, ctx.stream->duplicatable,
-                          rng);
+                          rng, ws);
       break;
     }
     case DupMethod::kHittingSet: {
       const auto out = hitting_set_duplicate(st, insts, *ctx.removed,
-                                             ctx.stream->duplicatable, rng);
+                                             ctx.stream->duplicatable, rng,
+                                             ws);
       ctx.stats->duplication_rounds += out.rounds;
       break;
     }
@@ -114,19 +118,21 @@ void duplicate_atom_parallel(
   const std::uint64_t base_seed = ctx.rng->next();
   opts.pool->parallel_for(atoms.size(), [&](std::size_t i) {
     if (per_atom[i].empty()) return;
+    thread_local AssignWorkspace tls;  // per-worker scratch
     PlacementState local = *ctx.st;
     support::SplitMix64 rng(base_seed + i);
     std::size_t rounds = 0;
     switch (opts.method) {
       case DupMethod::kBacktracking: {
         backtrack_duplicate(local, per_atom[i], *ctx.removed,
-                            stream.duplicatable, rng);
+                            stream.duplicatable, rng, &tls);
         break;
       }
       case DupMethod::kHittingSet: {
         const auto out = hitting_set_duplicate(local, per_atom[i],
                                                *ctx.removed,
-                                               stream.duplicatable, rng);
+                                               stream.duplicatable, rng,
+                                               &tls);
         rounds = out.rounds;
         break;
       }
@@ -146,7 +152,7 @@ void duplicate_atom_parallel(
     ctx.stats->duplication_rounds += d.rounds;
   }
   if (!residual.empty()) {
-    run_duplication(ctx, residual, *ctx.st, *ctx.rng);
+    run_duplication(ctx, residual, *ctx.st, *ctx.rng, ctx.ws);
   }
 }
 
@@ -196,7 +202,8 @@ void run_pass(PassContext& ctx,
   if (!any_skip) {
     cr = color_conflict_graph(cg, {opts.module_count, opts.use_atoms,
                                    opts.pick, opts.pool},
-                              precolored, never_remove, ctx.module_load);
+                              precolored, never_remove, ctx.module_load,
+                              ctx.ws);
   } else {
     // Rebuild instructions without the already-removed values; their
     // conflicts are handled by the duplication phase below.
@@ -224,7 +231,7 @@ void run_pass(PassContext& ctx,
     }
     const ColorResult cr2 = color_conflict_graph(
         cg2, {opts.module_count, opts.use_atoms, opts.pick, opts.pool}, pre2,
-        nr2, ctx.module_load);
+        nr2, ctx.module_load, ctx.ws);
     // Map back onto the full-graph indexing.
     cr.module.assign(n, kUnassignedModule);
     for (graph::Vertex v = 0; v < n2; ++v) {
@@ -268,7 +275,7 @@ void run_pass(PassContext& ctx,
   if (opts.pool != nullptr && cr.atoms.size() > 1) {
     duplicate_atom_parallel(ctx, insts, cg, cr.atoms);
   } else {
-    run_duplication(ctx, insts, *ctx.st, *ctx.rng);
+    run_duplication(ctx, insts, *ctx.st, *ctx.rng, ctx.ws);
   }
 
   // Safety net: every value seen in this pass must end with >= 1 copy.
@@ -313,11 +320,12 @@ AssignResult assign_modules(const ir::AccessStream& stream,
   std::vector<bool> removed(stream.value_count, false);
   std::vector<std::size_t> module_load(opts.module_count, 0);
   support::SplitMix64 rng(opts.seed);
+  AssignWorkspace workspace;  // shared by every serial-path pass below
 
   AssignResult result;
   result.module_count = opts.module_count;
   PassContext ctx{&stream, &opts,    &st,  &decided,
-                  &removed, &module_load, &rng, &result.stats};
+                  &removed, &module_load, &rng, &result.stats, &workspace};
 
   std::vector<std::uint32_t> all_tuples(stream.tuples.size());
   for (std::uint32_t i = 0; i < all_tuples.size(); ++i) all_tuples[i] = i;

@@ -101,20 +101,26 @@ std::optional<std::size_t> resolve_instruction(
 BacktrackOutcome backtrack_duplicate(
     PlacementState& st, const std::vector<std::vector<ir::ValueId>>& insts,
     const std::vector<bool>& in_unassigned,
-    const std::vector<bool>& duplicatable, support::SplitMix64& rng) {
+    const std::vector<bool>& duplicatable, support::SplitMix64& rng,
+    AssignWorkspace* ws) {
   const std::size_t k = st.module_count();
+
+  AssignWorkspace local_ws;
+  AssignWorkspace& w = ws != nullptr ? *ws : local_ws;
 
   // S_i = instructions with i duplicable operands; processed for i = 1..k.
   // Instructions with zero duplicable operands are conflict-free by
   // construction (their operands were colored) unless forced assignments
   // are present — those are reported unresolved.
-  std::vector<std::vector<std::size_t>> groups(k + 1);
+  auto& groups = w.inst_groups;
+  if (groups.size() < k + 1) groups.resize(k + 1);
+  for (std::size_t g = 0; g <= k; ++g) groups[g].clear();
   for (std::size_t i = 0; i < insts.size(); ++i) {
     std::size_t dup = 0;
     for (const ir::ValueId v : insts[i]) {
       if (v < in_unassigned.size() && in_unassigned[v]) ++dup;
     }
-    groups[std::min(dup, k)].push_back(i);
+    groups[std::min(dup, k)].push_back(static_cast<std::uint32_t>(i));
   }
 
   BacktrackOutcome out;

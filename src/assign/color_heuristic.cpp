@@ -1,8 +1,8 @@
 #include "assign/color_heuristic.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
-#include <queue>
 
 #include "assign/module_set.h"
 
@@ -14,92 +14,107 @@ namespace parmem::assign {
 namespace {
 
 using graph::Vertex;
+using HeapEntry = AssignWorkspace::HeapEntry;
+
+// Max-urgency comparison: U = w/kk with kk==0 treated as +inf; ties by
+// larger s, then smaller vertex id.
+bool less_urgent(const HeapEntry& a, const HeapEntry& b) {
+  const bool a_inf = a.kk == 0, b_inf = b.kk == 0;
+  if (a_inf != b_inf) return !a_inf;  // a less urgent iff b is infinite
+  if (!a_inf) {
+    const std::uint64_t lhs = a.w * b.kk;  // cross-multiplied compare
+    const std::uint64_t rhs = b.w * a.kk;
+    if (lhs != rhs) return lhs < rhs;
+  }
+  if (a.s != b.s) return a.s < b.s;
+  return a.v > b.v;
+}
 
 /// Colors one atom; `module` carries decisions across atoms (vertices with
 /// module >= 0 are fixed, vertices in `decided_unassigned` stay removed).
+///
+/// All per-vertex working state lives in `ws` (epoch-stamped, reusable
+/// across atoms); edge weights come from the CSR-parallel conf span — the
+/// inner loops read neighbors and weights at the same index and never pay
+/// a point lookup.
 void color_atom(const ConflictGraph& cg, const std::vector<Vertex>& atom,
                 const ColorOptions& opts, std::vector<std::int32_t>& module,
                 std::vector<bool>& decided, const std::vector<bool>& never_remove,
-                std::vector<std::size_t>& load, ColorResult& result) {
+                std::vector<std::size_t>& load, AssignWorkspace& ws,
+                ColorResult& result) {
   const std::size_t k = opts.module_count;
   const graph::Graph& g = cg.graph();
 
-  std::vector<bool> in_atom(g.vertex_count(), false);
-  for (const Vertex v : atom) in_atom[v] = true;
+  ws.begin_atom(g.vertex_count());
+  for (const Vertex v : atom) ws.mark_atom_member(v);
 
   // Atom-local degree drives the Fig. 4 weight rule: edges leaving a vertex
-  // of degree < k weigh zero.
-  std::vector<std::size_t> deg(g.vertex_count(), 0);
+  // of degree < k weigh zero, i.e. wt(v → w) = deg(v) < k ? 0 : conf(v, w).
   for (const Vertex v : atom) {
+    std::uint32_t d = 0;
     for (const Vertex w : g.neighbors(v)) {
-      if (in_atom[w]) ++deg[v];
+      if (ws.in_atom(w)) ++d;
     }
+    ws.deg[v] = d;
   }
-  const auto wt = [&](Vertex from, Vertex to) -> std::uint64_t {
-    return deg[from] < k ? 0 : cg.conf(from, to);
-  };
 
-  // Static weight sums S(v) and dynamic urgency state.
-  std::vector<std::uint64_t> s_sum(g.vertex_count(), 0);
-  std::vector<std::uint64_t> w_assigned(g.vertex_count(), 0);
-  std::vector<std::uint32_t> neighbor_mods(g.vertex_count(), 0);  // bitmask
+  // Static weight sums S(v) over atom-internal edges.
   for (const Vertex v : atom) {
-    for (const Vertex w : g.neighbors(v)) {
-      if (in_atom[w]) s_sum[v] += wt(v, w);
+    if (ws.deg[v] < k) continue;  // every outgoing weight is zero
+    const auto nbrs = g.neighbors(v);
+    const auto wts = cg.conf_weights(v);
+    std::uint64_t s = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (ws.in_atom(nbrs[i])) s += wts[i];
     }
+    ws.s_sum[v] = s;
   }
 
   // Work list: undecided atom vertices. Initialize urgency contributions
   // from vertices decided in earlier atoms / stages (pre-colored separators).
-  std::vector<Vertex> rest;
   for (const Vertex v : atom) {
     if (decided[v]) continue;
-    rest.push_back(v);
-    for (const Vertex w : g.neighbors(v)) {
+    ws.rest.push_back(v);
+    const auto nbrs = g.neighbors(v);
+    const auto wts = cg.conf_weights(v);
+    std::uint64_t wa = 0;
+    std::uint32_t nm = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Vertex w = nbrs[i];
       if (module[w] >= 0) {
-        w_assigned[v] += in_atom[w] ? wt(w, v) : cg.conf(w, v);
-        neighbor_mods[v] |= 1u << static_cast<std::uint32_t>(module[w]);
+        // wt(w → v) for atom members, plain conf across the atom boundary.
+        if (!(ws.in_atom(w) && ws.deg[w] < k)) wa += wts[i];
+        nm |= 1u << static_cast<std::uint32_t>(module[w]);
       }
     }
+    ws.w_assigned[v] = wa;
+    ws.neighbor_mods[v] = nm;
   }
 
   const auto k_of = [&](Vertex v) -> std::uint32_t {
     const std::uint32_t used =
-        static_cast<std::uint32_t>(std::popcount(neighbor_mods[v]));
+        static_cast<std::uint32_t>(std::popcount(ws.neighbor_mods[v]));
     return used >= k ? 0u : static_cast<std::uint32_t>(k) - used;
   };
 
-  struct Entry {
-    std::uint64_t w;   // Σ wt(assigned → v)
-    std::uint32_t kk;  // modules still usable (0 == infinitely urgent)
-    std::uint64_t s;   // static tie-break
-    Vertex v;
+  auto& heap = ws.heap;
+  const auto push = [&](const HeapEntry& e) {
+    heap.push_back(e);
+    std::push_heap(heap.begin(), heap.end(), less_urgent);
   };
-  // Max-urgency comparison: U = w/kk with kk==0 treated as +inf; ties by
-  // larger s, then smaller vertex id.
-  const auto less_urgent = [](const Entry& a, const Entry& b) {
-    const bool a_inf = a.kk == 0, b_inf = b.kk == 0;
-    if (a_inf != b_inf) return !a_inf;  // a less urgent iff b is infinite
-    if (!a_inf) {
-      const std::uint64_t lhs = a.w * b.kk;  // cross-multiplied compare
-      const std::uint64_t rhs = b.w * a.kk;
-      if (lhs != rhs) return lhs < rhs;
-    }
-    if (a.s != b.s) return a.s < b.s;
-    return a.v > b.v;
-  };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(less_urgent)> heap(
-      less_urgent);
-  for (const Vertex v : rest) heap.push({w_assigned[v], k_of(v), s_sum[v], v});
+  for (const Vertex v : ws.rest) {
+    push({ws.w_assigned[v], k_of(v), ws.s_sum[v], v});
+  }
 
-  std::size_t remaining = rest.size();
+  std::size_t remaining = ws.rest.size();
   while (remaining > 0) {
     PARMEM_CHECK(!heap.empty(), "heap exhausted with vertices remaining");
-    const Entry e = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), less_urgent);
+    const HeapEntry e = heap.back();
+    heap.pop_back();
     const Vertex v = e.v;
-    if (decided[v]) continue;                                  // stale
-    if (e.w != w_assigned[v] || e.kk != k_of(v)) continue;     // stale
+    if (decided[v]) continue;                                      // stale
+    if (e.w != ws.w_assigned[v] || e.kk != k_of(v)) continue;      // stale
 
     decided[v] = true;
     --remaining;
@@ -113,10 +128,14 @@ void color_atom(const ConflictGraph& cg, const std::vector<Vertex>& atom,
         // Forced assignment: module minimizing conflict weight with already
         // assigned neighbors (the value stays mutable, so it cannot be
         // duplicated; the residual conflicts will serialize at run time).
-        std::vector<std::uint64_t> cost(k, 0);
-        for (const Vertex w : g.neighbors(v)) {
-          if (module[w] >= 0) cost[module[w]] += std::max<std::uint32_t>(
-              cg.conf(v, w), 1u);
+        std::array<std::uint64_t, kMaxModules> cost{};
+        const auto nbrs = g.neighbors(v);
+        const auto wts = cg.conf_weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (module[nbrs[i]] >= 0) {
+            cost[static_cast<std::uint32_t>(module[nbrs[i]])] +=
+                std::max<std::uint32_t>(wts[i], 1u);
+          }
         }
         std::uint32_t best = 0;
         for (std::uint32_t m = 1; m < k; ++m) {
@@ -132,7 +151,7 @@ void color_atom(const ConflictGraph& cg, const std::vector<Vertex>& atom,
       // Pick among admissible modules.
       std::int32_t best = -1;
       for (std::uint32_t m = 0; m < k; ++m) {
-        if (neighbor_mods[v] & (1u << m)) continue;
+        if (ws.neighbor_mods[v] & (1u << m)) continue;
         if (best < 0) {
           best = static_cast<std::int32_t>(m);
         } else if (opts.pick == ModulePick::kLeastLoaded &&
@@ -148,11 +167,15 @@ void color_atom(const ConflictGraph& cg, const std::vector<Vertex>& atom,
       module[v] = chosen;
       ++load[static_cast<std::uint32_t>(chosen)];
       // Update neighbors' urgency state.
-      for (const Vertex w : g.neighbors(v)) {
-        if (decided[w] || !in_atom[w]) continue;
-        w_assigned[w] += wt(v, w);
-        neighbor_mods[w] |= 1u << static_cast<std::uint32_t>(chosen);
-        heap.push({w_assigned[w], k_of(w), s_sum[w], w});
+      const auto nbrs = g.neighbors(v);
+      const auto wts = cg.conf_weights(v);
+      const bool v_zero = ws.deg[v] < k;  // wt(v → w) vanishes
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const Vertex w = nbrs[i];
+        if (decided[w] || !ws.in_atom(w)) continue;
+        if (!v_zero) ws.w_assigned[w] += wts[i];
+        ws.neighbor_mods[w] |= 1u << static_cast<std::uint32_t>(chosen);
+        push({ws.w_assigned[w], k_of(w), ws.s_sum[w], w});
       }
     }
   }
@@ -174,6 +197,7 @@ void color_atoms_parallel(const ConflictGraph& cg,
                           std::vector<bool>& decided,
                           const std::vector<bool>& never_remove,
                           std::vector<std::size_t>& load,
+                          AssignWorkspace& ws,
                           ColorResult& result) {
   const std::size_t n = cg.vertex_count();
 
@@ -189,7 +213,7 @@ void color_atoms_parallel(const ConflictGraph& cg,
   }
   if (!shared.empty()) {
     color_atom(cg, shared, opts, result.module, decided, never_remove, load,
-               result);
+               ws, result);
   }
 
   struct Delta {
@@ -200,21 +224,27 @@ void color_atoms_parallel(const ConflictGraph& cg,
   };
   std::vector<Delta> deltas(atoms.size());
   opts.pool->parallel_for(atoms.size(), [&](std::size_t i) {
-    std::vector<std::int32_t> module = result.module;  // frontier snapshot
-    std::vector<bool> local_decided = decided;
-    std::vector<std::size_t> local_load = load;
+    // One workspace per worker thread; it also owns the frontier snapshots,
+    // so a worker allocates them once instead of once per atom.
+    thread_local AssignWorkspace tls;
+    tls.module_snapshot = result.module;
+    tls.decided_snapshot = decided;
+    tls.load_snapshot = load;
     ColorResult local;
-    color_atom(cg, atoms[i].vertices, opts, module, local_decided,
-               never_remove, local_load, local);
+    color_atom(cg, atoms[i].vertices, opts, tls.module_snapshot,
+               tls.decided_snapshot, never_remove, tls.load_snapshot, tls,
+               local);
     Delta& d = deltas[i];
     for (const Vertex v : atoms[i].vertices) {
-      if (!decided[v] && module[v] >= 0) d.colored.emplace_back(v, module[v]);
+      if (!decided[v] && tls.module_snapshot[v] >= 0) {
+        d.colored.emplace_back(v, tls.module_snapshot[v]);
+      }
     }
     d.unassigned = std::move(local.unassigned);
     d.forced = std::move(local.forced);
     d.load_delta.resize(load.size());
     for (std::size_t m = 0; m < load.size(); ++m) {
-      d.load_delta[m] = local_load[m] - load[m];
+      d.load_delta[m] = tls.load_snapshot[m] - load[m];
     }
   });
 
@@ -238,7 +268,8 @@ ColorResult color_conflict_graph(const ConflictGraph& cg,
                                  const ColorOptions& opts,
                                  const std::vector<std::int32_t>& precolored,
                                  const std::vector<bool>& never_remove,
-                                 std::vector<std::size_t>* module_load) {
+                                 std::vector<std::size_t>* module_load,
+                                 AssignWorkspace* ws) {
   const std::size_t n = cg.vertex_count();
   const std::size_t k = opts.module_count;
   PARMEM_CHECK(k >= 1 && k <= kMaxModules, "module count out of range");
@@ -246,6 +277,9 @@ ColorResult color_conflict_graph(const ConflictGraph& cg,
   ColorResult result;
   result.module.assign(n, kUnassignedModule);
   std::vector<bool> decided(n, false);
+
+  AssignWorkspace local_ws;
+  AssignWorkspace& wks = ws != nullptr ? *ws : local_ws;
 
   std::vector<std::size_t> local_load;
   std::vector<std::size_t>& load =
@@ -273,12 +307,12 @@ ColorResult color_conflict_graph(const ConflictGraph& cg,
     // part exactly in its clique separator (see atoms.h).
     std::reverse(atoms.begin(), atoms.end());
     if (opts.pool != nullptr) {
-      color_atoms_parallel(cg, atoms, opts, decided, never_remove, load,
+      color_atoms_parallel(cg, atoms, opts, decided, never_remove, load, wks,
                            result);
     } else {
       for (const graph::Atom& atom : atoms) {
         color_atom(cg, atom.vertices, opts, result.module, decided,
-                   never_remove, load, result);
+                   never_remove, load, wks, result);
       }
     }
     result.atoms.reserve(atoms.size());
@@ -288,7 +322,7 @@ ColorResult color_conflict_graph(const ConflictGraph& cg,
   } else if (n > 0) {
     std::vector<graph::Vertex> all(n);
     for (graph::Vertex v = 0; v < n; ++v) all[v] = v;
-    color_atom(cg, all, opts, result.module, decided, never_remove, load,
+    color_atom(cg, all, opts, result.module, decided, never_remove, load, wks,
                result);
   }
 

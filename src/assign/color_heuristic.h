@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "assign/conflict_graph.h"
+#include "assign/workspace.h"
 
 namespace parmem::support {
 class ThreadPool;
@@ -76,10 +77,13 @@ struct ColorResult {
 /// @param never_remove per-vertex flag; empty == all removable.
 /// @param module_load if non-null, running count of values per module shared
 ///        across calls (STOR2/3 stages); updated in place.
+/// @param ws if non-null, reusable scratch (see workspace.h); a local
+///        workspace is used otherwise. Purely a performance knob.
 ColorResult color_conflict_graph(const ConflictGraph& cg,
                                  const ColorOptions& opts,
                                  const std::vector<std::int32_t>& precolored = {},
                                  const std::vector<bool>& never_remove = {},
-                                 std::vector<std::size_t>* module_load = nullptr);
+                                 std::vector<std::size_t>* module_load = nullptr,
+                                 AssignWorkspace* ws = nullptr);
 
 }  // namespace parmem::assign

@@ -9,11 +9,18 @@
 // of tuples (STOR3's instruction windows) and a subset of values (STOR2's
 // global-then-local stages). Only values that actually occur in the selected
 // tuples become vertices.
+//
+// Layout: the underlying Graph is finalized (packed CSR, see graph/graph.h)
+// and the conf weights live in an array parallel to the flat CSR neighbor
+// array. Iterating a vertex's neighbors therefore yields the matching
+// weights as a same-index read from conf_weights() — the hot loops of the
+// Fig. 4 heuristic never touch a hash table. Point queries conf(u, v) fall
+// back to a binary search of the shorter CSR row; per-vertex weight totals
+// are precomputed at build.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -51,22 +58,31 @@ class ConflictGraph {
     return id < value_to_vertex_.size() ? value_to_vertex_[id] : -1;
   }
 
+  /// Sorted neighbor list of `v` (same as graph().neighbors(v)).
+  std::span<const graph::Vertex> neighbors(graph::Vertex v) const {
+    return g_.neighbors(v);
+  }
+
+  /// conf weights parallel to neighbors(v): conf_weights(v)[i] is
+  /// conf(v, neighbors(v)[i]).
+  std::span<const std::uint32_t> conf_weights(graph::Vertex v) const {
+    return {conf_w_.data() + g_.neighbor_base(v), g_.degree(v)};
+  }
+
   /// conf(u, v): number of selected instructions using both values.
   std::uint32_t conf(graph::Vertex u, graph::Vertex v) const;
 
-  /// Total conflict weight at a vertex: sum of conf over incident edges.
-  std::uint64_t conf_sum(graph::Vertex v) const;
+  /// Total conflict weight at a vertex: sum of conf over incident edges
+  /// (precomputed at build).
+  std::uint64_t conf_sum(graph::Vertex v) const { return conf_sums_[v]; }
 
  private:
-  static std::uint64_t key(graph::Vertex u, graph::Vertex v) {
-    if (u > v) std::swap(u, v);
-    return (static_cast<std::uint64_t>(u) << 32) | v;
-  }
-
   graph::Graph g_{0};
   std::vector<ir::ValueId> vertex_to_value_;
   std::vector<std::int64_t> value_to_vertex_;
-  std::unordered_map<std::uint64_t, std::uint32_t> conf_;
+  /// Edge weights, parallel to the Graph's flat CSR neighbor array.
+  std::vector<std::uint32_t> conf_w_;
+  std::vector<std::uint64_t> conf_sums_;
 };
 
 }  // namespace parmem::assign

@@ -18,9 +18,11 @@ class MinCopiesSearch {
   MinCopiesSearch(const ir::AccessStream& stream, std::size_t k,
                   std::uint64_t budget)
       : stream_(stream), k_(k), budget_(budget) {
+    std::vector<bool> seen(stream.value_count, false);
     for (const auto& t : stream.tuples) {
       for (const ir::ValueId v : t.operands) {
-        if (std::find(values_.begin(), values_.end(), v) == values_.end()) {
+        if (!seen[v]) {
+          seen[v] = true;
           values_.push_back(v);
         }
       }
@@ -35,6 +37,8 @@ class MinCopiesSearch {
                        return involve[a] > involve[b];
                      });
     placement_.assign(stream.value_count, 0);
+    order_of_.assign(stream.value_count, 0);
+    for (std::size_t i = 0; i < values_.size(); ++i) order_of_[values_[i]] = i;
     // Precompute, per value, the tuples it participates in.
     tuples_of_.resize(stream.value_count);
     for (std::size_t t = 0; t < stream.tuples.size(); ++t) {
@@ -66,14 +70,7 @@ class MinCopiesSearch {
   bool tuple_ready(std::size_t t, std::size_t depth) const {
     for (const ir::ValueId v : stream_.tuples[t].operands) {
       // A value is placed iff it appears among the first `depth+1` values.
-      bool placed = false;
-      for (std::size_t i = 0; i <= depth; ++i) {
-        if (values_[i] == v) {
-          placed = true;
-          break;
-        }
-      }
-      if (!placed) return false;
+      if (order_of_[v] > depth) return false;
     }
     return true;
   }
@@ -127,6 +124,7 @@ class MinCopiesSearch {
   std::uint64_t nodes_ = 0;
   bool exhausted_ = false;
   std::vector<ir::ValueId> values_;
+  std::vector<std::size_t> order_of_;  // position of a value in values_
   std::vector<std::vector<std::size_t>> tuples_of_;
   std::vector<ModuleSet> placement_;
   std::size_t bound_used_ = 0;

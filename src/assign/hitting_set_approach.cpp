@@ -1,7 +1,6 @@
 #include "assign/hitting_set_approach.h"
 
 #include <algorithm>
-#include <set>
 
 #include "assign/backtrack.h"
 #include "assign/hitting_set.h"
@@ -12,10 +11,12 @@ namespace parmem::assign {
 namespace {
 
 /// All distinct size-`num` operand combinations occurring in instructions
-/// wide enough to contain them.
+/// wide enough to contain them, in lexicographic order (sort + unique over
+/// the generated stream — the same sequence a std::set would iterate, minus
+/// the per-insert node allocation and tree rebalancing).
 std::vector<std::vector<ir::ValueId>> combinations_of_size(
     const std::vector<std::vector<ir::ValueId>>& insts, std::size_t num) {
-  std::set<std::vector<ir::ValueId>> combos;
+  std::vector<std::vector<ir::ValueId>> combos;
   std::vector<ir::ValueId> current;
   for (const auto& ops : insts) {
     if (ops.size() < num) continue;
@@ -28,7 +29,7 @@ std::vector<std::vector<ir::ValueId>> combinations_of_size(
     for (;;) {
       current.clear();
       for (const std::size_t i : idx) current.push_back(ops[i]);
-      combos.insert(current);
+      combos.push_back(current);
       // Advance.
       std::size_t pos = num;
       while (pos > 0 && idx[pos - 1] == n - (num - pos) - 1) --pos;
@@ -37,7 +38,9 @@ std::vector<std::vector<ir::ValueId>> combinations_of_size(
       for (std::size_t i = pos; i < num; ++i) idx[i] = idx[i - 1] + 1;
     }
   }
-  return {combos.begin(), combos.end()};
+  std::sort(combos.begin(), combos.end());
+  combos.erase(std::unique(combos.begin(), combos.end()), combos.end());
+  return combos;
 }
 
 }  // namespace
@@ -45,19 +48,27 @@ std::vector<std::vector<ir::ValueId>> combinations_of_size(
 HittingSetOutcome hitting_set_duplicate(
     PlacementState& st, const std::vector<std::vector<ir::ValueId>>& insts,
     const std::vector<bool>& in_unassigned,
-    const std::vector<bool>& duplicatable, support::SplitMix64& rng) {
+    const std::vector<bool>& duplicatable, support::SplitMix64& rng,
+    AssignWorkspace* ws) {
   const std::size_t k = st.module_count();
   HittingSetOutcome out;
 
-  // Values removed during coloring that still need their initial copies.
+  AssignWorkspace local_ws;
+  AssignWorkspace& w = ws != nullptr ? *ws : local_ws;
+
+  // Values removed during coloring that still need their initial copies,
+  // in first-occurrence order. The workspace marks replace a std::set; the
+  // marks are not kept live past this block (place_copies reuses them).
   std::vector<ir::ValueId> need_first;
   std::vector<ir::ValueId> need_second;
   {
-    std::set<ir::ValueId> seen;
+    w.begin_values(in_unassigned.size());
+    std::uint32_t slots = 0;
     for (const auto& ops : insts) {
       for (const ir::ValueId v : ops) {
         if (v >= in_unassigned.size() || !in_unassigned[v]) continue;
-        if (!seen.insert(v).second) continue;
+        if (w.value_marked(v)) continue;
+        w.mark_value(v, slots);
         if (st.copies(v) == 0) need_first.push_back(v);
         if (st.copies(v) <= 1) need_second.push_back(v);
       }
@@ -67,8 +78,10 @@ HittingSetOutcome hitting_set_duplicate(
   // Fig. 7: Place(V_unassigned) — first copies — then Place(V_unassigned)
   // again so that every pair combination is conflict free (two copies in
   // two distinct modules always satisfy any pair).
-  out.copies_added += place_copies(st, insts, need_first, in_unassigned, rng);
-  out.copies_added += place_copies(st, insts, need_second, in_unassigned, rng);
+  out.copies_added +=
+      place_copies(st, insts, need_first, in_unassigned, rng, &w);
+  out.copies_added +=
+      place_copies(st, insts, need_second, in_unassigned, rng, &w);
 
   std::size_t max_width = 0;
   for (const auto& ops : insts) max_width = std::max(max_width, ops.size());
@@ -94,7 +107,7 @@ HittingSetOutcome hitting_set_duplicate(
       const auto hs = greedy_hitting_set(cand_sets);
       std::vector<ir::ValueId> to_place(hs.begin(), hs.end());
       const std::size_t added =
-          place_copies(st, insts, to_place, in_unassigned, rng);
+          place_copies(st, insts, to_place, in_unassigned, rng, &w);
       out.copies_added += added;
       if (added == 0) break;  // saturated: fall through to the fix-up
     }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "assign/placement_state.h"
+#include "assign/workspace.h"
 #include "support/rng.h"
 
 namespace parmem::assign {
@@ -37,6 +38,7 @@ struct HittingSetOutcome {
 HittingSetOutcome hitting_set_duplicate(
     PlacementState& st, const std::vector<std::vector<ir::ValueId>>& insts,
     const std::vector<bool>& in_unassigned,
-    const std::vector<bool>& duplicatable, support::SplitMix64& rng);
+    const std::vector<bool>& duplicatable, support::SplitMix64& rng,
+    AssignWorkspace* ws = nullptr);
 
 }  // namespace parmem::assign

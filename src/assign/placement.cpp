@@ -10,8 +10,11 @@ std::size_t place_copies(PlacementState& st,
                          const std::vector<std::vector<ir::ValueId>>& insts,
                          const std::vector<ir::ValueId>& to_place,
                          const std::vector<bool>& in_unassigned,
-                         support::SplitMix64& rng) {
+                         support::SplitMix64& rng, AssignWorkspace* ws) {
   const std::size_t k = st.module_count();
+
+  AssignWorkspace local_ws;
+  AssignWorkspace& w = ws != nullptr ? *ws : local_ws;
 
   // Group id of an instruction: number of duplicable operands, clamped to
   // [1, k]. Instructions with zero duplicable operands cannot be helped by
@@ -24,21 +27,42 @@ std::size_t place_copies(PlacementState& st,
     return std::min(dup, k);
   };
 
-  // Live conflict set: instruction indices currently lacking an SDR.
-  std::vector<bool> conflicting(insts.size(), false);
+  // Inverted index: per value to place, the ascending instruction indices
+  // that mention it — one pass over the instructions instead of a full
+  // rescan per (value, use) in the profile / resolution / re-check loops.
+  std::size_t value_universe = in_unassigned.size();
+  for (const ir::ValueId v : to_place) {
+    value_universe = std::max(value_universe, static_cast<std::size_t>(v) + 1);
+  }
+  w.begin_values(value_universe);
+  std::uint32_t slots = 0;
+  for (const ir::ValueId v : to_place) w.mark_value(v, slots);
   for (std::size_t i = 0; i < insts.size(); ++i) {
-    conflicting[i] = !st.combination_conflict_free(insts[i]);
+    for (const ir::ValueId v : insts[i]) {
+      if (w.value_marked(v)) {
+        w.occurrences[w.value_slot[v]].push_back(
+            static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  const auto uses_of = [&](ir::ValueId v) -> const std::vector<std::uint32_t>& {
+    return w.occurrences[w.value_slot[v]];
+  };
+
+  // Live conflict set: instruction indices currently lacking an SDR.
+  auto& conflicting = w.conflicting;
+  conflicting.assign(insts.size(), 0);
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    conflicting[i] = st.combination_conflict_free(insts[i]) ? 0 : 1;
   }
 
   // Value processing order: by conflicting-instruction counts per group,
   // group 1 first, compared lexicographically, descending.
   const auto value_profile = [&](ir::ValueId v) {
     std::vector<std::size_t> profile(k + 1, 0);
-    for (std::size_t i = 0; i < insts.size(); ++i) {
+    for (const std::uint32_t i : uses_of(v)) {
       if (!conflicting[i]) continue;
-      const auto& ops = insts[i];
-      if (std::find(ops.begin(), ops.end(), v) == ops.end()) continue;
-      const std::size_t grp = group_of(ops);
+      const std::size_t grp = group_of(insts[i]);
       if (grp >= 1) ++profile[grp];
     }
     return profile;
@@ -73,10 +97,9 @@ std::size_t place_copies(PlacementState& st,
     // Resolved-conflict vector per candidate module, indexed by group.
     std::vector<std::vector<std::size_t>> resolved(
         candidates.size(), std::vector<std::size_t>(k + 1, 0));
-    for (std::size_t i = 0; i < insts.size(); ++i) {
+    for (const std::uint32_t i : uses_of(v)) {
       if (!conflicting[i]) continue;
       const auto& ops = insts[i];
-      if (std::find(ops.begin(), ops.end(), v) == ops.end()) continue;
       const std::size_t grp = group_of(ops);
       if (grp == 0) continue;
       for (std::size_t c = 0; c < candidates.size(); ++c) {
@@ -104,11 +127,9 @@ std::size_t place_copies(PlacementState& st,
     ++added;
 
     // Re-check instructions that mention v.
-    for (std::size_t i = 0; i < insts.size(); ++i) {
+    for (const std::uint32_t i : uses_of(v)) {
       if (!conflicting[i]) continue;
-      const auto& ops = insts[i];
-      if (std::find(ops.begin(), ops.end(), v) == ops.end()) continue;
-      if (st.combination_conflict_free(ops)) conflicting[i] = false;
+      if (st.combination_conflict_free(insts[i])) conflicting[i] = 0;
     }
   }
   return added;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "assign/placement_state.h"
+#include "assign/workspace.h"
 #include "support/rng.h"
 
 namespace parmem::assign {
@@ -29,12 +30,17 @@ namespace parmem::assign {
 ///        the current strategy stage).
 /// @param in_unassigned per-value flag: is the value duplicable, i.e. was it
 ///        removed during coloring (drives the instruction grouping).
+/// @param ws optional reusable scratch (occurrence index and conflict
+///        flags); a local workspace is used when null. The call bumps the
+///        workspace's value epoch, so callers must not keep their own value
+///        marks live across it.
 /// @returns number of copies actually added (a value already present in all
 ///        modules cannot receive another copy and is skipped).
 std::size_t place_copies(PlacementState& st,
                          const std::vector<std::vector<ir::ValueId>>& insts,
                          const std::vector<ir::ValueId>& to_place,
                          const std::vector<bool>& in_unassigned,
-                         support::SplitMix64& rng);
+                         support::SplitMix64& rng,
+                         AssignWorkspace* ws = nullptr);
 
 }  // namespace parmem::assign

@@ -1,0 +1,111 @@
+// Reusable scratch for the assignment pipeline.
+//
+// The Fig. 4 coloring sweep and the Fig. 6 / Figs. 9-10 duplication passes
+// are called once per atom / per strategy stage; with per-call O(V) or
+// O(insts) temporaries the pipeline spends more time in allocation and
+// memset than in the algorithms on atom-rich graphs. An AssignWorkspace
+// owns those buffers and is threaded through the passes:
+//
+//  * the serial path keeps one workspace per assign_modules() call;
+//  * pool tasks keep one per worker thread (thread_local), so no
+//    synchronization is needed and reuse never crosses a task boundary
+//    mid-flight.
+//
+// Per-vertex and per-value state is epoch-stamped: an entry is valid only
+// if its mark equals the current epoch, so "clearing" the scratch between
+// atoms is a single counter increment instead of an O(V) wipe. Everything
+// in here is scratch — results never live in a workspace — so reusing (or
+// not reusing) one cannot change any output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace parmem::assign {
+
+struct AssignWorkspace {
+  // ---- vertex-domain scratch (Fig. 4 coloring, one atom at a time) ----
+  struct HeapEntry {
+    std::uint64_t w;   // Σ wt(assigned → v)
+    std::uint32_t kk;  // modules still usable (0 == infinitely urgent)
+    std::uint64_t s;   // static tie-break
+    graph::Vertex v;
+  };
+
+  std::uint64_t vertex_epoch = 0;
+  std::vector<std::uint64_t> atom_mark;      // in current atom iff == epoch
+  std::vector<std::uint32_t> deg;            // atom-local degree
+  std::vector<std::uint64_t> s_sum;          // static weight sum S(v)
+  std::vector<std::uint64_t> w_assigned;     // Σ wt(assigned → v)
+  std::vector<std::uint32_t> neighbor_mods;  // modules taken around v
+  std::vector<HeapEntry> heap;               // urgency heap storage
+  std::vector<graph::Vertex> rest;           // undecided atom vertices
+
+  /// Starts scratch for a new atom of a graph with `n` vertices. All
+  /// previous per-vertex stamps are invalidated by the epoch bump.
+  void begin_atom(std::size_t n) {
+    ++vertex_epoch;
+    if (atom_mark.size() < n) {
+      atom_mark.resize(n, 0);
+      deg.resize(n);
+      s_sum.resize(n);
+      w_assigned.resize(n);
+      neighbor_mods.resize(n);
+    }
+    heap.clear();
+    rest.clear();
+  }
+
+  bool in_atom(graph::Vertex v) const { return atom_mark[v] == vertex_epoch; }
+
+  void mark_atom_member(graph::Vertex v) {
+    atom_mark[v] = vertex_epoch;
+    deg[v] = 0;
+    s_sum[v] = 0;
+    w_assigned[v] = 0;
+    neighbor_mods[v] = 0;
+  }
+
+  // ---- value-domain scratch (duplication / placement) ----
+  std::uint64_t value_epoch = 0;
+  std::vector<std::uint64_t> value_mark;  // value selected iff == epoch
+  std::vector<std::uint32_t> value_slot;  // slot of a marked value
+  /// Per slot: indices of the instructions mentioning the value, ascending.
+  std::vector<std::vector<std::uint32_t>> occurrences;
+  std::vector<std::uint8_t> conflicting;  // per instruction, current call
+  /// Fig. 6 grouping: instruction indices by duplicable-operand count.
+  std::vector<std::vector<std::uint32_t>> inst_groups;
+
+  /// Starts scratch for a value universe of size `n`.
+  void begin_values(std::size_t n) {
+    ++value_epoch;
+    if (value_mark.size() < n) {
+      value_mark.resize(n, 0);
+      value_slot.resize(n);
+    }
+  }
+
+  bool value_marked(std::uint64_t v) const {
+    return v < value_mark.size() && value_mark[v] == value_epoch;
+  }
+
+  /// Marks `v` and returns its slot, allocating one on first sight.
+  std::uint32_t mark_value(std::uint64_t v, std::uint32_t& slots) {
+    if (value_mark[v] == value_epoch) return value_slot[v];
+    value_mark[v] = value_epoch;
+    const std::uint32_t slot = slots++;
+    value_slot[v] = slot;
+    if (occurrences.size() <= slot) occurrences.emplace_back();
+    occurrences[slot].clear();
+    return slot;
+  }
+
+  // ---- snapshot buffers (atom-parallel coloring tasks) ----
+  std::vector<std::int32_t> module_snapshot;
+  std::vector<bool> decided_snapshot;
+  std::vector<std::size_t> load_snapshot;
+};
+
+}  // namespace parmem::assign

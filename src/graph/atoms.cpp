@@ -14,15 +14,21 @@ std::vector<Atom> decompose_by_clique_separators(const Graph& g) {
 
   const Triangulation tri = mcs_m(g);
 
-  // Adjacency of H = G + F, as sorted neighbor lists.
+  // Adjacency of H = G + F, as sorted neighbor lists: gather the fill
+  // edges per vertex, then one sorted merge per row (tri.fill is sorted, so
+  // per-vertex fill lists come out sorted) instead of per-edge insertion.
   std::vector<std::vector<Vertex>> h_adj(n);
+  std::vector<std::vector<Vertex>> fill_of(n);
+  for (const auto& [u, v] : tri.fill) {
+    fill_of[u].push_back(v);
+    fill_of[v].push_back(u);
+  }
   for (Vertex v = 0; v < n; ++v) {
     const auto nb = g.neighbors(v);
-    h_adj[v].assign(nb.begin(), nb.end());
-  }
-  for (const auto& [u, v] : tri.fill) {
-    h_adj[u].insert(std::lower_bound(h_adj[u].begin(), h_adj[u].end(), v), v);
-    h_adj[v].insert(std::lower_bound(h_adj[v].begin(), h_adj[v].end(), u), u);
+    std::sort(fill_of[v].begin(), fill_of[v].end());
+    h_adj[v].resize(nb.size() + fill_of[v].size());
+    std::merge(nb.begin(), nb.end(), fill_of[v].begin(), fill_of[v].end(),
+               h_adj[v].begin());
   }
 
   std::vector<std::size_t> pos(n);
@@ -31,12 +37,19 @@ std::vector<Atom> decompose_by_clique_separators(const Graph& g) {
   std::vector<bool> alive(n, true);
   std::size_t alive_count = n;
 
+  // Scratch reused across candidate splits (each split used to allocate
+  // its own O(n) masks — O(atoms × V) churn on atom-rich graphs).
+  std::vector<Vertex> sep;
+  std::vector<bool> mask;
+  std::vector<bool> in_comp(n, false);
+  std::vector<bool> in_sep(n, false);
+
   for (std::size_t i = 0; i < n; ++i) {
     const Vertex x = tri.order[i];
     if (!alive[x]) continue;  // already split off inside some component
 
     // S = later neighbors of x in H that are still alive.
-    std::vector<Vertex> sep;
+    sep.clear();
     for (const Vertex w : h_adj[x]) {
       if (pos[w] > i && alive[w]) sep.push_back(w);
     }
@@ -44,7 +57,7 @@ std::vector<Atom> decompose_by_clique_separators(const Graph& g) {
     if (!g.is_clique(sep)) continue;        // not a clique separator of G
 
     // Component of x with S removed.
-    std::vector<bool> mask = alive;
+    mask = alive;
     for (const Vertex s : sep) mask[s] = false;
     std::vector<Vertex> comp = g.component_of(x, mask);
 
@@ -56,9 +69,7 @@ std::vector<Atom> decompose_by_clique_separators(const Graph& g) {
     // separator vertex needs a neighbor on both sides. Splitting on a
     // non-minimal clique separator would emit non-maximal atoms (e.g. a
     // sub-clique of a maximal clique in a chordal graph).
-    std::vector<bool> in_comp(n, false);
     for (const Vertex c : comp) in_comp[c] = true;
-    std::vector<bool> in_sep(n, false);
     for (const Vertex s : sep) in_sep[s] = true;
     bool minimal = true;
     for (const Vertex s : sep) {
@@ -73,6 +84,8 @@ std::vector<Atom> decompose_by_clique_separators(const Graph& g) {
         break;
       }
     }
+    for (const Vertex c : comp) in_comp[c] = false;
+    for (const Vertex s : sep) in_sep[s] = false;
     if (!minimal) continue;
 
     Atom atom;

@@ -7,16 +7,100 @@
 
 namespace parmem::graph {
 
-Graph::Graph(std::size_t n) : adj_(n) {}
+Graph::Graph(std::size_t n) : n_(n), adj_(n) {}
 
 void Graph::check_vertex(Vertex v) const {
-  PARMEM_CHECK(v < adj_.size(), "vertex id out of range");
+  PARMEM_CHECK(v < n_, "vertex id out of range");
+}
+
+Graph Graph::from_sorted_edges(
+    std::size_t n, std::span<const std::pair<Vertex, Vertex>> edges) {
+  Graph g(n);
+  g.adj_.clear();
+  g.adj_.shrink_to_fit();
+  g.edge_count_ = edges.size();
+
+  // Degree count, then prefix sums, then a second placement pass. Each
+  // row receives first its smaller neighbors (edges where v is the max
+  // endpoint, in ascending u order) and then its larger ones, so rows come
+  // out sorted without any per-row sort.
+  std::vector<std::uint32_t> deg(n, 0);
+  for (const auto& [u, v] : edges) {
+    PARMEM_CHECK(u < v && v < n, "from_sorted_edges: bad edge");
+    ++deg[u];
+    ++deg[v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  g.neighbors_.resize(g.offsets_[n]);
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) g.neighbors_[cursor[v]++] = u;
+  for (const auto& [u, v] : edges) g.neighbors_[cursor[u]++] = v;
+  for (std::size_t v = 0; v < n; ++v) {
+    PARMEM_CHECK(std::is_sorted(g.neighbors_.begin() + g.offsets_[v],
+                                g.neighbors_.begin() + g.offsets_[v + 1]) &&
+                     std::adjacent_find(g.neighbors_.begin() + g.offsets_[v],
+                                        g.neighbors_.begin() +
+                                            g.offsets_[v + 1]) ==
+                         g.neighbors_.begin() + g.offsets_[v + 1],
+                 "from_sorted_edges: edges not sorted unique");
+  }
+
+  if (n <= kAdjacencyBitsetMaxVertices && n > 0) {
+    g.words_per_row_ = (n + 63) / 64;
+    g.adj_bits_.assign(n * g.words_per_row_, 0);
+    for (const auto& [u, v] : edges) {
+      g.adj_bits_[u * g.words_per_row_ + v / 64] |= 1ULL << (v % 64);
+      g.adj_bits_[v * g.words_per_row_ + u / 64] |= 1ULL << (u % 64);
+    }
+  }
+  g.csr_valid_ = true;
+  return g;
+}
+
+void Graph::finalize() {
+  if (csr_valid_) return;
+  offsets_.assign(n_ + 1, 0);
+  for (std::size_t v = 0; v < n_; ++v) {
+    offsets_[v + 1] = offsets_[v] + static_cast<std::uint32_t>(adj_[v].size());
+  }
+  neighbors_.resize(offsets_[n_]);
+  for (std::size_t v = 0; v < n_; ++v) {
+    std::copy(adj_[v].begin(), adj_[v].end(), neighbors_.begin() + offsets_[v]);
+  }
+  if (n_ <= kAdjacencyBitsetMaxVertices && n_ > 0) {
+    words_per_row_ = (n_ + 63) / 64;
+    adj_bits_.assign(n_ * words_per_row_, 0);
+    for (Vertex v = 0; v < n_; ++v) {
+      for (const Vertex w : adj_[v]) {
+        adj_bits_[v * words_per_row_ + w / 64] |= 1ULL << (w % 64);
+      }
+    }
+  }
+  adj_.clear();
+  adj_.shrink_to_fit();
+  csr_valid_ = true;
+}
+
+void Graph::definalize() {
+  if (!csr_valid_) return;
+  adj_.assign(n_, {});
+  for (Vertex v = 0; v < n_; ++v) {
+    const auto row = neighbors(v);
+    adj_[v].assign(row.begin(), row.end());
+  }
+  offsets_.clear();
+  neighbors_.clear();
+  adj_bits_.clear();
+  words_per_row_ = 0;
+  csr_valid_ = false;
 }
 
 void Graph::add_edge(Vertex u, Vertex v) {
   check_vertex(u);
   check_vertex(v);
   PARMEM_CHECK(u != v, "self-loops are not allowed");
+  definalize();
   auto& nu = adj_[u];
   const auto it = std::lower_bound(nu.begin(), nu.end(), v);
   if (it != nu.end() && *it == v) return;  // duplicate
@@ -30,18 +114,42 @@ bool Graph::has_edge(Vertex u, Vertex v) const {
   check_vertex(u);
   check_vertex(v);
   if (u == v) return false;
+  if (!adj_bits_.empty()) {
+    return (adj_bits_[u * words_per_row_ + v / 64] >> (v % 64)) & 1;
+  }
   // Probe the smaller adjacency list.
-  const auto& n = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
-  const Vertex target = adj_[u].size() <= adj_[v].size() ? v : u;
+  const auto nu = neighbors(u);
+  const auto nv = neighbors(v);
+  const auto& n = nu.size() <= nv.size() ? nu : nv;
+  const Vertex target = nu.size() <= nv.size() ? v : u;
   return std::binary_search(n.begin(), n.end(), target);
 }
 
 std::span<const Vertex> Graph::neighbors(Vertex v) const {
   check_vertex(v);
+  if (csr_valid_) {
+    return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
   return adj_[v];
 }
 
+std::size_t Graph::neighbor_base(Vertex v) const {
+  check_vertex(v);
+  PARMEM_CHECK(csr_valid_, "neighbor_base requires a finalized graph");
+  return offsets_[v];
+}
+
 bool Graph::is_clique(std::span<const Vertex> set) const {
+  if (!adj_bits_.empty()) {
+    for (const Vertex u : set) {
+      check_vertex(u);
+      const std::uint64_t* row = adj_bits_.data() + u * words_per_row_;
+      for (const Vertex v : set) {
+        if (v != u && !((row[v / 64] >> (v % 64)) & 1)) return false;
+      }
+    }
+    return true;
+  }
   for (std::size_t i = 0; i < set.size(); ++i) {
     for (std::size_t j = i + 1; j < set.size(); ++j) {
       if (!has_edge(set[i], set[j])) return false;
@@ -51,29 +159,32 @@ bool Graph::is_clique(std::span<const Vertex> set) const {
 }
 
 Graph Graph::induced(std::span<const Vertex> keep) const {
-  std::vector<std::int64_t> to_new(adj_.size(), -1);
+  std::vector<std::int64_t> to_new(n_, -1);
   for (std::size_t i = 0; i < keep.size(); ++i) {
     check_vertex(keep[i]);
     PARMEM_CHECK(to_new[keep[i]] < 0, "duplicate vertex in induced() set");
     to_new[keep[i]] = static_cast<std::int64_t>(i);
   }
-  Graph g(keep.size());
+  std::vector<std::pair<Vertex, Vertex>> edges;
   for (std::size_t i = 0; i < keep.size(); ++i) {
-    for (const Vertex w : adj_[keep[i]]) {
+    for (const Vertex w : neighbors(keep[i])) {
       const std::int64_t j = to_new[w];
       if (j >= 0 && static_cast<std::size_t>(j) > i) {
-        g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j));
+        edges.emplace_back(static_cast<Vertex>(i), static_cast<Vertex>(j));
       }
     }
   }
+  std::sort(edges.begin(), edges.end());
+  Graph g = from_sorted_edges(keep.size(), edges);
+  if (!csr_valid_) g.definalize();
   return g;
 }
 
 std::vector<std::vector<Vertex>> Graph::components() const {
-  std::vector<bool> alive(adj_.size(), true);
-  std::vector<bool> seen(adj_.size(), false);
+  std::vector<bool> alive(n_, true);
+  std::vector<bool> seen(n_, false);
   std::vector<std::vector<Vertex>> out;
-  for (Vertex v = 0; v < adj_.size(); ++v) {
+  for (Vertex v = 0; v < n_; ++v) {
     if (seen[v]) continue;
     auto comp = component_of(v, alive);
     for (const Vertex u : comp) seen[u] = true;
@@ -85,18 +196,17 @@ std::vector<std::vector<Vertex>> Graph::components() const {
 std::vector<Vertex> Graph::component_of(Vertex start,
                                         const std::vector<bool>& alive) const {
   check_vertex(start);
-  PARMEM_CHECK(alive.size() == adj_.size(),
-               "alive mask size must match vertex count");
+  PARMEM_CHECK(alive.size() == n_, "alive mask size must match vertex count");
   PARMEM_CHECK(alive[start], "component_of start vertex must be alive");
   std::vector<Vertex> stack{start};
-  std::vector<bool> seen(adj_.size(), false);
+  std::vector<bool> seen(n_, false);
   seen[start] = true;
   std::vector<Vertex> comp;
   while (!stack.empty()) {
     const Vertex v = stack.back();
     stack.pop_back();
     comp.push_back(v);
-    for (const Vertex w : adj_[v]) {
+    for (const Vertex w : neighbors(v)) {
       if (alive[w] && !seen[w]) {
         seen[w] = true;
         stack.push_back(w);
@@ -143,9 +253,9 @@ Graph Graph::random(std::size_t n, double p, support::SplitMix64& rng) {
 
 std::string Graph::to_string() const {
   std::ostringstream os;
-  for (Vertex v = 0; v < adj_.size(); ++v) {
+  for (Vertex v = 0; v < n_; ++v) {
     os << v << ':';
-    for (const Vertex w : adj_[v]) os << ' ' << w;
+    for (const Vertex w : neighbors(v)) os << ' ' << w;
     os << '\n';
   }
   return os.str();

@@ -2,14 +2,26 @@
 //
 // This is the substrate for the paper's access-conflict graphs (§2): nodes
 // are data values, edges join values that appear as operands of the same
-// long instruction. It is deliberately simple — dense adjacency queries on
-// graphs of at most a few thousand vertices — and keeps neighbor lists
-// sorted so algorithms get deterministic iteration order.
+// long instruction. It keeps neighbor lists sorted so algorithms get
+// deterministic iteration order, and it has two representations:
+//
+//  * a mutable build form — vector-of-vectors adjacency, grown by
+//    add_edge();
+//  * a packed CSR form — one offsets array plus one flat neighbors array,
+//    augmented (for small graphs) with a word-packed adjacency bitset for
+//    O(1) has_edge and word-parallel is_clique.
+//
+// finalize() converts build form to CSR; any later add_edge falls back to
+// the build form transparently. Exactly one representation is live at a
+// time, and no const member mutates state, so a finalized Graph is safe to
+// share read-only across threads. Every query answers identically in both
+// forms — CSR is a layout change, not a semantic one.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/rng.h"
@@ -23,16 +35,42 @@ class Graph {
   /// Creates a graph with `n` isolated vertices 0..n-1.
   explicit Graph(std::size_t n = 0);
 
+  /// Bulk constructor: `edges` must be sorted ascending, unique, with
+  /// u < v for every entry. Builds the CSR form directly (the result is
+  /// already finalized) — no per-edge insertion churn.
+  static Graph from_sorted_edges(
+      std::size_t n, std::span<const std::pair<Vertex, Vertex>> edges);
+
   /// Adds an undirected edge; self-loops are rejected, duplicates ignored.
+  /// Drops back to the mutable build form if the graph was finalized.
   void add_edge(Vertex u, Vertex v);
+
+  /// Packs the adjacency into CSR (and, for graphs up to
+  /// kAdjacencyBitsetMaxVertices vertices, the adjacency bitset).
+  /// Idempotent. Call before sharing the graph read-only across threads or
+  /// entering query-heavy algorithms.
+  void finalize();
+  bool finalized() const { return csr_valid_; }
 
   bool has_edge(Vertex u, Vertex v) const;
 
   /// Sorted neighbor list of `v`.
   std::span<const Vertex> neighbors(Vertex v) const;
 
-  std::size_t degree(Vertex v) const { return adj_[v].size(); }
-  std::size_t vertex_count() const { return adj_.size(); }
+  /// Index of the first neighbor of `v` in the flat CSR neighbor array —
+  /// the key that lets callers keep arrays parallel to the neighbor list
+  /// (the conflict graph stores edge weights this way). Requires
+  /// finalized().
+  std::size_t neighbor_base(Vertex v) const;
+
+  /// Total length of the flat CSR neighbor array (2 * edge_count()).
+  /// Requires finalized().
+  std::size_t neighbor_array_size() const { return neighbors_.size(); }
+
+  std::size_t degree(Vertex v) const {
+    return csr_valid_ ? offsets_[v + 1] - offsets_[v] : adj_[v].size();
+  }
+  std::size_t vertex_count() const { return n_; }
   std::size_t edge_count() const { return edge_count_; }
 
   /// True iff every pair of vertices in `set` is adjacent. The empty set and
@@ -40,7 +78,8 @@ class Graph {
   bool is_clique(std::span<const Vertex> set) const;
 
   /// Subgraph induced by `keep` (need not be sorted). The i-th vertex of the
-  /// result corresponds to keep[i]; `keep` itself is the back-mapping.
+  /// result corresponds to keep[i]; `keep` itself is the back-mapping. The
+  /// result is finalized iff this graph is.
   Graph induced(std::span<const Vertex> keep) const;
 
   /// Connected components as lists of vertices (each sorted ascending).
@@ -62,11 +101,31 @@ class Graph {
   /// Multi-line human-readable dump (vertex: neighbor list).
   std::string to_string() const;
 
+  /// Largest vertex count for which finalize() also builds the O(n^2)-bit
+  /// adjacency bitset (8 MiB at the limit). Bigger graphs answer has_edge
+  /// by binary search over the CSR row.
+  static constexpr std::size_t kAdjacencyBitsetMaxVertices = 8192;
+
  private:
   void check_vertex(Vertex v) const;
+  /// Rebuilds the mutable adjacency from CSR and drops the CSR (the inverse
+  /// of finalize(); used by add_edge on a finalized graph).
+  void definalize();
 
-  std::vector<std::vector<Vertex>> adj_;
+  std::size_t n_ = 0;
   std::size_t edge_count_ = 0;
+
+  // Build form (live iff !csr_valid_).
+  std::vector<std::vector<Vertex>> adj_;
+
+  // CSR form (live iff csr_valid_).
+  bool csr_valid_ = false;
+  std::vector<std::uint32_t> offsets_;  // n_ + 1 entries
+  std::vector<Vertex> neighbors_;       // flat, rows sorted ascending
+  // Adjacency bitset, row-major, words_per_row_ 64-bit words per vertex;
+  // empty when n_ > kAdjacencyBitsetMaxVertices.
+  std::vector<std::uint64_t> adj_bits_;
+  std::size_t words_per_row_ = 0;
 };
 
 }  // namespace parmem::graph

@@ -1,0 +1,343 @@
+// Differential suite for the CSR conflict-graph refactor.
+//
+// The golden hashes below were produced by the pre-CSR (hash-map based)
+// implementation: for every (stream, k, strategy, method) cell the full
+// AssignResult — placement, removals, and stats — was hashed with FNV-1a.
+// The current implementation must reproduce every hash bit-for-bit, both on
+// the serial path and under a thread pool, at every pool width. A separate
+// test rebuilds conf() with a naive map and checks it against the packed
+// conf_weights()/conf_sum() arrays edge by edge.
+//
+// syn_large (V=4096, 20k tuples) was part of the golden matrix when it was
+// captured but is omitted here to keep the suite fast; the bench harness
+// (bench/assign_hotpath) asserts identity on it instead.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.h"
+#include "assign/assigner.h"
+#include "assign/conflict_graph.h"
+#include "support/thread_pool.h"
+#include "workloads/stream_gen.h"
+#include "workloads/workloads.h"
+
+namespace parmem::assign {
+namespace {
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_result(const AssignResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv(h, r.module_count);
+  for (const auto m : r.placement) h = fnv(h, m);
+  for (const bool b : r.removed) h = fnv(h, b ? 1 : 0);
+  h = fnv(h, r.stats.values_used);
+  h = fnv(h, r.stats.single_copy);
+  h = fnv(h, r.stats.multi_copy);
+  h = fnv(h, r.stats.total_copies);
+  h = fnv(h, r.stats.unassigned_after_coloring);
+  h = fnv(h, r.stats.forced);
+  h = fnv(h, r.stats.residual_conflict_tuples);
+  return h;
+}
+
+struct GoldenRow {
+  const char* stream;
+  std::size_t k;
+  int strategy;  // static_cast<int>(Strategy)
+  int method;    // static_cast<int>(DupMethod)
+  std::uint64_t serial_hash;  // no pool
+  std::uint64_t pooled_hash;  // any ThreadPool width
+};
+
+// Captured from the seed implementation (see file comment).
+const GoldenRow kGoldens[] = {
+    {"TAYLOR1", 2, 0, 1, 0x5ed51f9853a684c8ULL, 0x68b83e21936da7e8ULL},
+    {"TAYLOR1", 2, 0, 0, 0x4e88fc8f99062350ULL, 0x1850a21a9002f96bULL},
+    {"TAYLOR1", 2, 1, 1, 0x5ed51f9853a684c8ULL, 0x68b83e21936da7e8ULL},
+    {"TAYLOR1", 2, 1, 0, 0x4e88fc8f99062350ULL, 0x1850a21a9002f96bULL},
+    {"TAYLOR1", 2, 2, 1, 0x5ed51f9853a684c8ULL, 0x68b83e21936da7e8ULL},
+    {"TAYLOR1", 2, 2, 0, 0x4e88fc8f99062350ULL, 0x4f0a943bddc8e88bULL},
+    {"TAYLOR1", 4, 0, 1, 0x4a6185db8c765608ULL, 0x6b753649a8e08847ULL},
+    {"TAYLOR1", 4, 0, 0, 0x8411ebba7130e546ULL, 0x1b22015a0b2d0fc9ULL},
+    {"TAYLOR1", 4, 1, 1, 0x4a6185db8c765608ULL, 0x6b753649a8e08847ULL},
+    {"TAYLOR1", 4, 1, 0, 0x8411ebba7130e546ULL, 0x1b22015a0b2d0fc9ULL},
+    {"TAYLOR1", 4, 2, 1, 0x7d239334884f5ac8ULL, 0x5c79dae6650e2167ULL},
+    {"TAYLOR1", 4, 2, 0, 0x9ab9e5519d4a3586ULL, 0x958a2f39ae4bb09cULL},
+    {"TAYLOR1", 8, 0, 1, 0x0da2c8d05638340cULL, 0x7736b1d4a95f9790ULL},
+    {"TAYLOR1", 8, 0, 0, 0x0da2c8d05638340cULL, 0x7736b1d4a95f9790ULL},
+    {"TAYLOR1", 8, 1, 1, 0x0da2c8d05638340cULL, 0x7736b1d4a95f9790ULL},
+    {"TAYLOR1", 8, 1, 0, 0x0da2c8d05638340cULL, 0x7736b1d4a95f9790ULL},
+    {"TAYLOR1", 8, 2, 1, 0x0cffedd9ede81bccULL, 0x3ba8895ebf977defULL},
+    {"TAYLOR1", 8, 2, 0, 0x0cffedd9ede81bccULL, 0x3ba8895ebf977defULL},
+    {"TAYLOR2", 2, 0, 1, 0x16cb17a776348d2dULL, 0xa8695f113f90ed4eULL},
+    {"TAYLOR2", 2, 0, 0, 0x16cb17a776348d2dULL, 0xa8695f113f90ed4eULL},
+    {"TAYLOR2", 2, 1, 1, 0xf7c6a024c48d2098ULL, 0x1d37f7307a3bcd57ULL},
+    {"TAYLOR2", 2, 1, 0, 0xf7c6a024c48d2098ULL, 0x1d37f7307a3bcd57ULL},
+    {"TAYLOR2", 2, 2, 1, 0xfebfc0d3e403cdeeULL, 0xa58340472dc8766eULL},
+    {"TAYLOR2", 2, 2, 0, 0xfebfc0d3e403cdeeULL, 0xa58340472dc8766eULL},
+    {"TAYLOR2", 4, 0, 1, 0xded1bb8cc0086f1bULL, 0x53097f4bc9631e30ULL},
+    {"TAYLOR2", 4, 0, 0, 0xded1bb8cc0086f1bULL, 0x53097f4bc9631e30ULL},
+    {"TAYLOR2", 4, 1, 1, 0x19893db275a7f918ULL, 0x8b49c3eae3acc3b7ULL},
+    {"TAYLOR2", 4, 1, 0, 0x19893db275a7f918ULL, 0x8b49c3eae3acc3b7ULL},
+    {"TAYLOR2", 4, 2, 1, 0xd60c2b7dc49538dbULL, 0xf1b67b913463f1edULL},
+    {"TAYLOR2", 4, 2, 0, 0xd60c2b7dc49538dbULL, 0xf1b67b913463f1edULL},
+    {"TAYLOR2", 8, 0, 1, 0xd2593172322ef045ULL, 0xdc787118ba1a6d70ULL},
+    {"TAYLOR2", 8, 0, 0, 0xd2593172322ef045ULL, 0xdc787118ba1a6d70ULL},
+    {"TAYLOR2", 8, 1, 1, 0xf80c513ecf72403dULL, 0xdc4c5610afcc763fULL},
+    {"TAYLOR2", 8, 1, 0, 0xf80c513ecf72403dULL, 0xdc4c5610afcc763fULL},
+    {"TAYLOR2", 8, 2, 1, 0x27e7faf09412ca05ULL, 0x386b2f8e1addc961ULL},
+    {"TAYLOR2", 8, 2, 0, 0x27e7faf09412ca05ULL, 0x386b2f8e1addc961ULL},
+    {"EXACT", 2, 0, 1, 0xb4750876d353de3aULL, 0xe3e2244297064ab1ULL},
+    {"EXACT", 2, 0, 0, 0xbb42c0e08ee8a375ULL, 0xeeb01bd2c59a8f72ULL},
+    {"EXACT", 2, 1, 1, 0x78ea335936e73ff3ULL, 0x70cbf78990b6a953ULL},
+    {"EXACT", 2, 1, 0, 0x56b7a521d27ba28eULL, 0x3434f9501f7d34f2ULL},
+    {"EXACT", 2, 2, 1, 0x6671d0e08ac42914ULL, 0x18c803875776689cULL},
+    {"EXACT", 2, 2, 0, 0xac87710b13cb8313ULL, 0xa51a4b174b781889ULL},
+    {"EXACT", 4, 0, 1, 0xc8dfd1b25ffac58cULL, 0xe8140b347548d05aULL},
+    {"EXACT", 4, 0, 0, 0x6654026ad2cc5aefULL, 0x09552c7788da0a13ULL},
+    {"EXACT", 4, 1, 1, 0xea48c4199a83cab9ULL, 0x0058313d343d5b6eULL},
+    {"EXACT", 4, 1, 0, 0xaa162797c2975b34ULL, 0x6c94cab51bd5b370ULL},
+    {"EXACT", 4, 2, 1, 0x4a1c0b465c006bc6ULL, 0xeac5868fe4bdab50ULL},
+    {"EXACT", 4, 2, 0, 0x598aa9a46c2dc06bULL, 0x83eaef0110c7efaaULL},
+    {"EXACT", 8, 0, 1, 0x40f3f5fa86695385ULL, 0x344c674efdf38d93ULL},
+    {"EXACT", 8, 0, 0, 0x40f3f5fa86695385ULL, 0x344c674efdf38d93ULL},
+    {"EXACT", 8, 1, 1, 0x4f81d991cdf79495ULL, 0x98290da23b947561ULL},
+    {"EXACT", 8, 1, 0, 0x4f81d991cdf79495ULL, 0x98290da23b947561ULL},
+    {"EXACT", 8, 2, 1, 0xee32552de4c31285ULL, 0xba905430e5af43b9ULL},
+    {"EXACT", 8, 2, 0, 0xee32552de4c31285ULL, 0xba905430e5af43b9ULL},
+    {"FFT", 2, 0, 1, 0xe51b94777405e97bULL, 0xb5482db48c9e0290ULL},
+    {"FFT", 2, 0, 0, 0x56a5a4bead530933ULL, 0x0b3679beff07d7e0ULL},
+    {"FFT", 2, 1, 1, 0xc519abb26eaa9416ULL, 0xac95583b8e4da0ddULL},
+    {"FFT", 2, 1, 0, 0xdf3579333ff97267ULL, 0x49d34aa7583f48abULL},
+    {"FFT", 2, 2, 1, 0x9227e578420e7c1bULL, 0x5053d3b00e17f810ULL},
+    {"FFT", 2, 2, 0, 0xa027819fba42bcb4ULL, 0x4856bc55b2d48f97ULL},
+    {"FFT", 4, 0, 1, 0xb26a57033ac41523ULL, 0xb75f842d25097e9aULL},
+    {"FFT", 4, 0, 0, 0xcf52c49e3ba4bdfbULL, 0xc6025a8ce71dd83eULL},
+    {"FFT", 4, 1, 1, 0x907137ecd11f5792ULL, 0x12f3859e0619de11ULL},
+    {"FFT", 4, 1, 0, 0xcc250052184a8f19ULL, 0x53d44066d44b870eULL},
+    {"FFT", 4, 2, 1, 0xa90d2b620d355b2eULL, 0xf325cc4b20b523c6ULL},
+    {"FFT", 4, 2, 0, 0xdd3fb2806d418036ULL, 0x3775875711525c6fULL},
+    {"FFT", 8, 0, 1, 0x0df98339ac89957fULL, 0x98a8d2a96c616c86ULL},
+    {"FFT", 8, 0, 0, 0x0df98339ac89957fULL, 0x98a8d2a96c616c86ULL},
+    {"FFT", 8, 1, 1, 0xc0f0a8bc64198d8cULL, 0x955840a339925721ULL},
+    {"FFT", 8, 1, 0, 0xc0f0a8bc64198d8cULL, 0x955840a339925721ULL},
+    {"FFT", 8, 2, 1, 0x0df98339ac89957fULL, 0x3b46b728198a8402ULL},
+    {"FFT", 8, 2, 0, 0x0df98339ac89957fULL, 0x3b46b728198a8402ULL},
+    {"SORT", 2, 0, 1, 0xa2defef5aa2866ccULL, 0x5b27c86c5454006fULL},
+    {"SORT", 2, 0, 0, 0x93a2e98b90d916b7ULL, 0x14aa1a0994ac9b37ULL},
+    {"SORT", 2, 1, 1, 0xe3ba5a38db722d6bULL, 0xb080e7986f47992bULL},
+    {"SORT", 2, 1, 0, 0xa813385ef538f859ULL, 0x7ad1af506a4d01d9ULL},
+    {"SORT", 2, 2, 1, 0xcaec3589c5dfb58fULL, 0x02975a5983f854afULL},
+    {"SORT", 2, 2, 0, 0x58106ea2c6eec974ULL, 0xd3e08fc949e91bd7ULL},
+    {"SORT", 4, 0, 1, 0x2c6ab841e1298187ULL, 0xb5f575231e38594eULL},
+    {"SORT", 4, 0, 0, 0x5b43be7bbd615f7eULL, 0xce33570c97ddf4b8ULL},
+    {"SORT", 4, 1, 1, 0xccb95b2171893a4cULL, 0x821600ba241c1fe5ULL},
+    {"SORT", 4, 1, 0, 0xf87adb45eaa624f2ULL, 0x6be116052546cd97ULL},
+    {"SORT", 4, 2, 1, 0x3ade533348b9da44ULL, 0x9f1eb08bfd4aa182ULL},
+    {"SORT", 4, 2, 0, 0xfa7664e279f6f8bdULL, 0xd8ce9a75c50c84b8ULL},
+    {"SORT", 8, 0, 1, 0x0199dd082d319be8ULL, 0x32498404a9acc9cfULL},
+    {"SORT", 8, 0, 0, 0x0199dd082d319be8ULL, 0x32498404a9acc9cfULL},
+    {"SORT", 8, 1, 1, 0x60c0c35d30947a88ULL, 0xca546cdcaad38cfdULL},
+    {"SORT", 8, 1, 0, 0x60c0c35d30947a88ULL, 0xca546cdcaad38cfdULL},
+    {"SORT", 8, 2, 1, 0x2e479f472f1fcde8ULL, 0xf4c898de7cabfac6ULL},
+    {"SORT", 8, 2, 0, 0x2e479f472f1fcde8ULL, 0xf4c898de7cabfac6ULL},
+    {"COLOR", 2, 0, 1, 0xd264955e7ee92af6ULL, 0x42a975617c6fa18fULL},
+    {"COLOR", 2, 0, 0, 0x05ef94b3daa21d43ULL, 0x45f9e2071c662345ULL},
+    {"COLOR", 2, 1, 1, 0xe512b11408efe3f6ULL, 0xf08d9c7c25b74f08ULL},
+    {"COLOR", 2, 1, 0, 0x8c5c5df81a57d443ULL, 0x7e106e98aa8868eeULL},
+    {"COLOR", 2, 2, 1, 0x80c8f4fa2e1a1a99ULL, 0x42a975617c6fa18fULL},
+    {"COLOR", 2, 2, 0, 0x94c2957e8f97f998ULL, 0x7a76ae0aac507b46ULL},
+    {"COLOR", 4, 0, 1, 0x15ab2c6dfc0fd057ULL, 0xc9270ad05a31126bULL},
+    {"COLOR", 4, 0, 0, 0x3441ccc1ae6a2abeULL, 0xde771f6884943c77ULL},
+    {"COLOR", 4, 1, 1, 0x7c1abc7452657131ULL, 0xf1f7d8555be3425cULL},
+    {"COLOR", 4, 1, 0, 0x666c251d97b2626cULL, 0x76481426c78dd02cULL},
+    {"COLOR", 4, 2, 1, 0x572ffe50c257cf3dULL, 0x643303f7c51b0e6aULL},
+    {"COLOR", 4, 2, 0, 0xaeb37aeeef7b0db0ULL, 0x7218974270411697ULL},
+    {"COLOR", 8, 0, 1, 0x19f62babbc6c30bbULL, 0xf8870cc0249d0c07ULL},
+    {"COLOR", 8, 0, 0, 0x19f62babbc6c30bbULL, 0xf8870cc0249d0c07ULL},
+    {"COLOR", 8, 1, 1, 0x3bce160c88c45516ULL, 0xbae875755a2e36ebULL},
+    {"COLOR", 8, 1, 0, 0x3bce160c88c45516ULL, 0xbae875755a2e36ebULL},
+    {"COLOR", 8, 2, 1, 0x2ba753e4901de219ULL, 0x71f393045b59f948ULL},
+    {"COLOR", 8, 2, 0, 0x2ba753e4901de219ULL, 0x71f393045b59f948ULL},
+    {"syn_small", 2, 0, 1, 0x374bc9550228a742ULL, 0xfcd96a5535955d73ULL},
+    {"syn_small", 2, 0, 0, 0xd40f6a7f4e4b577fULL, 0xa8a7f67b08e976adULL},
+    {"syn_small", 2, 1, 1, 0x5973c12be17556ceULL, 0x4e8278feb1a389bcULL},
+    {"syn_small", 2, 1, 0, 0x7254a06068ba266aULL, 0xf8a03dcaaa93f1abULL},
+    {"syn_small", 2, 2, 1, 0xeb12bc288752d7faULL, 0xd6a440e3cac6adf6ULL},
+    {"syn_small", 2, 2, 0, 0x3faafa1013618cd4ULL, 0x06bce56019279500ULL},
+    {"syn_small", 4, 0, 1, 0x9d667c3eeb92f592ULL, 0xee0023c0e9b4ccbeULL},
+    {"syn_small", 4, 0, 0, 0xe83bfea50007ae82ULL, 0x6a2e42bc03fbf2f0ULL},
+    {"syn_small", 4, 1, 1, 0xc051b82e9d7344bcULL, 0x0be2e2653727a8d8ULL},
+    {"syn_small", 4, 1, 0, 0x40786b82fff7d5cfULL, 0xe1236b2357a03d2fULL},
+    {"syn_small", 4, 2, 1, 0x7c7150cff1f24720ULL, 0x4aa073f80777c424ULL},
+    {"syn_small", 4, 2, 0, 0x201c27a71fa82e17ULL, 0x2e2d4b6a9aab078eULL},
+    {"syn_small", 8, 0, 1, 0x0fe7f12e39e38ce1ULL, 0xf2e365840778a7fdULL},
+    {"syn_small", 8, 0, 0, 0xd251c0a987f667c8ULL, 0x52f9d411ed5432e3ULL},
+    {"syn_small", 8, 1, 1, 0x10a9367f892a3725ULL, 0x7e368182b03c9e26ULL},
+    {"syn_small", 8, 1, 0, 0x083d2d6d0967c4d4ULL, 0xc925d9eca05dd9c4ULL},
+    {"syn_small", 8, 2, 1, 0xe56049d7aaa8c9b8ULL, 0xada0a4531e75b578ULL},
+    {"syn_small", 8, 2, 0, 0x0e8478fe6df674ddULL, 0x68ad41fb75e342f7ULL},
+    {"syn_mid", 2, 0, 1, 0xe6e57b7718139e49ULL, 0xa644e30d33161890ULL},
+    {"syn_mid", 2, 0, 0, 0x987fc0d1e1f500e4ULL, 0xad8d9bc215cd7cc0ULL},
+    {"syn_mid", 2, 1, 1, 0x3a9ba665be71bfe3ULL, 0x8b2fe2bbfe93253cULL},
+    {"syn_mid", 2, 1, 0, 0x09e5fa4cf07b6c5eULL, 0xa4a5db0bc16e0b6aULL},
+    {"syn_mid", 2, 2, 1, 0x2f3f74720864652fULL, 0x29df5f4ec5d35a56ULL},
+    {"syn_mid", 2, 2, 0, 0xe6207feacae93ad2ULL, 0x0f93c904dc912a96ULL},
+    {"syn_mid", 4, 0, 1, 0xb022467986d9fea8ULL, 0xd71f3bb1dfcdb7dfULL},
+    {"syn_mid", 4, 0, 0, 0xbbe7259977ec3f07ULL, 0x1cc5646836c24ebbULL},
+    {"syn_mid", 4, 1, 1, 0x9cd04aefc4370ecfULL, 0x7e382ca21c1700f3ULL},
+    {"syn_mid", 4, 1, 0, 0xcf4ec9de81ef852cULL, 0x72dd1857d12d7407ULL},
+    {"syn_mid", 4, 2, 1, 0x16b3b969c018d4ddULL, 0xb1a489db28312ffdULL},
+    {"syn_mid", 4, 2, 0, 0x68193305464b55bbULL, 0x67af8bd8713da95fULL},
+    {"syn_mid", 8, 0, 1, 0x86436fa7ce670b9dULL, 0x6cbb3f5a5412f8e4ULL},
+    {"syn_mid", 8, 0, 0, 0xebbc2816fbcd53d5ULL, 0x1202be8de3c366e8ULL},
+    {"syn_mid", 8, 1, 1, 0xb4ffadd4a64bdb2aULL, 0xfb4442f7b7072f95ULL},
+    {"syn_mid", 8, 1, 0, 0xfc9ac1c3e507c56eULL, 0xd84bb2eb8a56caa4ULL},
+    {"syn_mid", 8, 2, 1, 0x4b2f5310e69f7337ULL, 0xa613240c9649b43cULL},
+    {"syn_mid", 8, 2, 0, 0x8d8aa3cfe2d6842aULL, 0x70353b8dee10ac26ULL},
+};
+
+ir::AccessStream make_stream(const std::string& name) {
+  if (name == "syn_small" || name == "syn_mid") {
+    workloads::StreamGenOptions g;
+    g.min_width = 2;
+    g.max_width = 4;
+    if (name == "syn_small") {
+      g.value_count = 256;
+      g.tuple_count = 800;
+      g.locality_window = 16;
+      g.region_count = 4;
+      support::SplitMix64 rng(0xabc1);
+      return workloads::random_stream(g, rng);
+    }
+    g.value_count = 1024;
+    g.tuple_count = 4000;
+    g.locality_window = 24;
+    g.region_count = 6;
+    support::SplitMix64 rng(0xabc2);
+    return workloads::random_stream(g, rng);
+  }
+  for (const auto& w : workloads::all_workloads()) {
+    if (w.name == name) {
+      analysis::PipelineOptions o;
+      o.sched.fu_count = 8;
+      o.sched.module_count = 8;
+      o.assign.module_count = 8;
+      o.rename = true;
+      return analysis::compile_mc(w.source, o).stream;
+    }
+  }
+  ADD_FAILURE() << "unknown stream " << name;
+  return {};
+}
+
+void check_stream_against_goldens(const std::string& name) {
+  const ir::AccessStream stream = make_stream(name);
+  for (const GoldenRow& row : kGoldens) {
+    if (name != row.stream) continue;
+    AssignOptions o;
+    o.module_count = row.k;
+    o.strategy = static_cast<Strategy>(row.strategy);
+    o.method = static_cast<DupMethod>(row.method);
+    const std::string label = name + " k=" + std::to_string(row.k) +
+                              " strat=" + std::to_string(row.strategy) +
+                              " method=" + std::to_string(row.method);
+    EXPECT_EQ(hash_result(assign_modules(stream, o)), row.serial_hash)
+        << label << " (serial)";
+    // Pool widths 1 and 4 must both reproduce the pooled golden: atom order
+    // is restored by the deterministic merge regardless of worker count.
+    support::ThreadPool pool1(0);
+    AssignOptions o1 = o;
+    o1.pool = &pool1;
+    EXPECT_EQ(hash_result(assign_modules(stream, o1)), row.pooled_hash)
+        << label << " (pool width 1)";
+    support::ThreadPool pool4(3);
+    AssignOptions o4 = o;
+    o4.pool = &pool4;
+    EXPECT_EQ(hash_result(assign_modules(stream, o4)), row.pooled_hash)
+        << label << " (pool width 4)";
+  }
+}
+
+TEST(CsrDifferential, PaperWorkloadsMatchSeedGoldens) {
+  for (const char* name :
+       {"TAYLOR1", "TAYLOR2", "EXACT", "FFT", "SORT", "COLOR"}) {
+    check_stream_against_goldens(name);
+  }
+}
+
+TEST(CsrDifferential, SyntheticSmallMatchesSeedGoldens) {
+  check_stream_against_goldens("syn_small");
+}
+
+TEST(CsrDifferential, SyntheticMidMatchesSeedGoldens) {
+  check_stream_against_goldens("syn_mid");
+}
+
+// Rebuilds conf() the way the seed did — a map keyed on the vertex pair —
+// and checks every packed edge weight, point query, and precomputed sum.
+TEST(CsrDifferential, ConfWeightsMatchNaiveMap) {
+  for (const char* name : {"FFT", "SORT", "syn_small", "syn_mid"}) {
+    const ir::AccessStream stream = make_stream(name);
+    const ConflictGraph cg = ConflictGraph::build(stream);
+
+    std::unordered_map<std::uint64_t, std::uint32_t> naive;
+    const auto key = [](graph::Vertex a, graph::Vertex b) {
+      if (a > b) std::swap(a, b);
+      return (static_cast<std::uint64_t>(a) << 32) | b;
+    };
+    std::vector<graph::Vertex> verts;
+    for (const auto& t : stream.tuples) {
+      verts.clear();
+      for (const ir::ValueId v : t.operands) {
+        const std::int64_t x = cg.vertex_of(v);
+        ASSERT_GE(x, 0) << name << ": operand value missing from graph";
+        verts.push_back(static_cast<graph::Vertex>(x));
+      }
+      std::sort(verts.begin(), verts.end());
+      verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+      for (std::size_t i = 0; i < verts.size(); ++i) {
+        for (std::size_t j = i + 1; j < verts.size(); ++j) {
+          ++naive[key(verts[i], verts[j])];
+        }
+      }
+    }
+
+    std::size_t edges_seen = 0;
+    for (graph::Vertex v = 0; v < cg.vertex_count(); ++v) {
+      const auto nbrs = cg.neighbors(v);
+      const auto wts = cg.conf_weights(v);
+      ASSERT_EQ(nbrs.size(), wts.size());
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const auto it = naive.find(key(v, nbrs[i]));
+        ASSERT_NE(it, naive.end())
+            << name << ": edge (" << v << "," << nbrs[i] << ") not in map";
+        EXPECT_EQ(wts[i], it->second);
+        EXPECT_EQ(cg.conf(v, nbrs[i]), it->second);
+        EXPECT_EQ(cg.conf(nbrs[i], v), it->second);
+        sum += wts[i];
+        ++edges_seen;
+      }
+      EXPECT_EQ(cg.conf_sum(v), sum) << name << " vertex " << v;
+    }
+    // Every map edge appears in the CSR form (each counted twice).
+    EXPECT_EQ(edges_seen, 2 * naive.size()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace parmem::assign

@@ -1,5 +1,9 @@
 #include "graph/graph.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.h"
@@ -90,6 +94,93 @@ TEST(Graph, ShapeConstructors) {
   EXPECT_EQ(Graph::cycle(6).edge_count(), 6u);
   EXPECT_EQ(Graph::path(6).edge_count(), 5u);
   EXPECT_THROW(Graph::cycle(2), support::InternalError);
+}
+
+TEST(Graph, FinalizePreservesEveryQuery) {
+  support::SplitMix64 rng(7);
+  Graph g = Graph::random(60, 0.2, rng);
+  Graph f = g;
+  f.finalize();
+  ASSERT_TRUE(f.finalized());
+  f.finalize();  // idempotent
+  ASSERT_TRUE(f.finalized());
+  EXPECT_EQ(f.vertex_count(), g.vertex_count());
+  EXPECT_EQ(f.edge_count(), g.edge_count());
+  for (Vertex u = 0; u < g.vertex_count(); ++u) {
+    EXPECT_EQ(f.degree(u), g.degree(u));
+    const auto a = g.neighbors(u);
+    const auto b = f.neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      EXPECT_EQ(f.has_edge(u, v), g.has_edge(u, v));
+    }
+  }
+}
+
+TEST(Graph, FromSortedEdgesMatchesIncrementalBuild) {
+  support::SplitMix64 rng(11);
+  Graph g = Graph::random(50, 0.15, rng);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex u = 0; u < g.vertex_count(); ++u) {
+    for (const Vertex v : g.neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  const Graph b = Graph::from_sorted_edges(g.vertex_count(), edges);
+  EXPECT_TRUE(b.finalized());
+  EXPECT_EQ(b.edge_count(), g.edge_count());
+  for (Vertex u = 0; u < g.vertex_count(); ++u) {
+    const auto a = g.neighbors(u);
+    const auto c = b.neighbors(u);
+    ASSERT_EQ(a.size(), c.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), c.begin()));
+  }
+}
+
+TEST(Graph, AddEdgeAfterFinalizeDropsBackToBuildForm) {
+  Graph g = Graph::cycle(6);
+  g.finalize();
+  ASSERT_TRUE(g.finalized());
+  g.add_edge(0, 3);
+  EXPECT_FALSE(g.finalized());
+  EXPECT_EQ(g.edge_count(), 7u);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(5, 0));  // pre-existing edges survive the round trip
+  g.finalize();
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_EQ(g.neighbors(0).size(), 3u);
+}
+
+TEST(Graph, NeighborBaseIndexesTheFlatArray) {
+  support::SplitMix64 rng(13);
+  Graph g = Graph::random(30, 0.3, rng);
+  g.finalize();
+  EXPECT_EQ(g.neighbor_array_size(), 2 * g.edge_count());
+  std::size_t expected = 0;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(g.neighbor_base(v), expected);
+    expected += g.degree(v);
+  }
+  EXPECT_EQ(expected, g.neighbor_array_size());
+}
+
+TEST(Graph, HasEdgeAgreesAboveBitsetLimit) {
+  // One vertex past the bitset cap: finalize() must fall back to binary
+  // search over the CSR rows and still answer identically.
+  const std::size_t n = Graph::kAdjacencyBitsetMaxVertices + 1;
+  Graph g(n);
+  g.add_edge(0, 1);
+  g.add_edge(0, static_cast<Vertex>(n - 1));
+  g.add_edge(17, 4242);
+  Graph f = g;
+  f.finalize();
+  EXPECT_TRUE(f.has_edge(0, 1));
+  EXPECT_TRUE(f.has_edge(static_cast<Vertex>(n - 1), 0));
+  EXPECT_TRUE(f.has_edge(4242, 17));
+  EXPECT_FALSE(f.has_edge(1, 2));
+  EXPECT_FALSE(f.has_edge(17, 4243));
 }
 
 TEST(Graph, RandomGraphRespectsProbabilityBounds) {
