@@ -39,6 +39,7 @@
 #include "assign/module_set.h"
 #include "assign/placement_state.h"
 #include "support/diagnostics.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "workloads/stream_gen.h"
 #include "workloads/workloads.h"
@@ -774,48 +775,58 @@ Entry bench_stream(const std::string& name, const ir::AccessStream& stream,
 
 void write_json(const std::string& path, const std::vector<Entry>& entries,
                 bool quick) {
+  const auto ratio = [](double a, double b) { return b > 0 ? a / b : 0.0; };
+  support::JsonWriter w;
+  const auto phase_times = [&](const char* k, const PhaseTimes& t) {
+    w.key(k);
+    w.begin_object();
+    w.member_fixed("build", t.build, 3);
+    w.member_fixed("color", t.color, 3);
+    w.member_fixed("duplicate", t.duplicate, 3);
+    w.member_fixed("total", t.total(), 3);
+    w.end_object();
+  };
+  w.begin_object();
+  w.member("bench", "assign_hotpath");
+  w.member("quick", quick);
+  w.member("module_count", 8);
+  w.key("entries");
+  w.begin_array();
+  for (const Entry& e : entries) {
+    w.begin_object();
+    w.member("stream", e.name);
+    w.member("values", e.values);
+    w.member("tuples", e.tuples);
+    w.member("vertices", e.vertices);
+    w.member("edges", e.edges);
+    w.member("atoms", e.atoms);
+    w.member("total_copies", e.total_copies);
+    phase_times("legacy_ms", e.legacy);
+    phase_times("csr_ms", e.csr);
+    w.key("speedup");
+    w.begin_object();
+    w.member_fixed("build", ratio(e.legacy.build, e.csr.build), 2);
+    w.member_fixed("color", ratio(e.legacy.color, e.csr.color), 2);
+    w.member_fixed("duplicate", ratio(e.legacy.duplicate, e.csr.duplicate), 2);
+    w.member_fixed("color_plus_duplicate",
+                   ratio(e.legacy.color + e.legacy.duplicate,
+                         e.csr.color + e.csr.duplicate),
+                   2);
+    w.member_fixed("total", ratio(e.legacy.total(), e.csr.total()), 2);
+    w.end_object();
+    w.member("identical", e.identical);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     std::exit(1);
   }
-  const auto ratio = [](double a, double b) { return b > 0 ? a / b : 0.0; };
-  std::fprintf(f, "{\n  \"bench\": \"assign_hotpath\",\n");
-  std::fprintf(f, "  \"quick\": %s,\n  \"module_count\": 8,\n",
-               quick ? "true" : "false");
-  std::fprintf(f, "  \"entries\": [\n");
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const Entry& e = entries[i];
-    std::fprintf(f, "    {\n      \"stream\": \"%s\",\n", e.name.c_str());
-    std::fprintf(f,
-                 "      \"values\": %zu, \"tuples\": %zu, \"vertices\": %zu, "
-                 "\"edges\": %zu, \"atoms\": %zu, \"total_copies\": %zu,\n",
-                 e.values, e.tuples, e.vertices, e.edges, e.atoms,
-                 e.total_copies);
-    std::fprintf(f,
-                 "      \"legacy_ms\": {\"build\": %.3f, \"color\": %.3f, "
-                 "\"duplicate\": %.3f, \"total\": %.3f},\n",
-                 e.legacy.build, e.legacy.color, e.legacy.duplicate,
-                 e.legacy.total());
-    std::fprintf(f,
-                 "      \"csr_ms\": {\"build\": %.3f, \"color\": %.3f, "
-                 "\"duplicate\": %.3f, \"total\": %.3f},\n",
-                 e.csr.build, e.csr.color, e.csr.duplicate, e.csr.total());
-    std::fprintf(
-        f,
-        "      \"speedup\": {\"build\": %.2f, \"color\": %.2f, "
-        "\"duplicate\": %.2f, \"color_plus_duplicate\": %.2f, "
-        "\"total\": %.2f},\n",
-        ratio(e.legacy.build, e.csr.build), ratio(e.legacy.color, e.csr.color),
-        ratio(e.legacy.duplicate, e.csr.duplicate),
-        ratio(e.legacy.color + e.legacy.duplicate,
-              e.csr.color + e.csr.duplicate),
-        ratio(e.legacy.total(), e.csr.total()));
-    std::fprintf(f, "      \"identical\": %s\n    }%s\n",
-                 e.identical ? "true" : "false",
-                 i + 1 < entries.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
   std::fclose(f);
 }
 

@@ -84,6 +84,32 @@ int main() {
               static_cast<double>(pair.sequential.cycles) /
                   static_cast<double>(pair.liw.cycles));
 
+  // The full RunResult counter block for the LIW run.
+  const machine::RunResult& r = pair.liw;
+  std::printf("\n== run counters (LIW) ==\n");
+  std::printf("cycles: %llu  conflict words: %llu  "
+              "memory transfer time: %llu\n",
+              static_cast<unsigned long long>(r.cycles),
+              static_cast<unsigned long long>(r.conflict_words),
+              static_cast<unsigned long long>(r.memory_transfer_time));
+  std::printf("scalar fetches: %llu  array accesses: %llu  "
+              "transfers executed: %llu\n",
+              static_cast<unsigned long long>(r.scalar_fetches),
+              static_cast<unsigned long long>(r.array_accesses),
+              static_cast<unsigned long long>(r.transfers_executed));
+  std::printf("per-module accesses:");
+  for (std::size_t m = 0; m < r.module_accesses.size(); ++m) {
+    std::printf(" M%zu=%llu", m,
+                static_cast<unsigned long long>(r.module_accesses[m]));
+  }
+  std::printf("\nmax-load histogram (load: words):");
+  for (std::size_t i = 1; i < r.max_load_histogram.size(); ++i) {
+    if (r.max_load_histogram[i] == 0) continue;
+    std::printf(" %zu: %llu", i,
+                static_cast<unsigned long long>(r.max_load_histogram[i]));
+  }
+  std::printf("\n");
+
   // Atom-parallel recompile: threads >= 1 selects the deterministic
   // atom-task mode; any thread count produces the same assignment.
   analysis::PipelineOptions par = opts;

@@ -14,6 +14,14 @@
 //   --emit-stream                  print the access stream (stream_io format,
 //                                  consumable by examples/assign_stream)
 //   --run                          execute and print program output + cycles
+//   --threads N                    atom-parallel assignment on N threads
+//                                  (0 = legacy sequential sweep, the default)
+//   --trace FILE.json              write a Chrome trace-event file of the
+//                                  compile (+ run) — load it in Perfetto or
+//                                  chrome://tracing; pool workers get their
+//                                  own lanes
+//   --stats                        print the phase-time summary and counter
+//                                  tables after compiling
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +31,8 @@
 #include "analysis/pipeline.h"
 #include "graph/dot.h"
 #include "ir/stream_io.h"
+#include "telemetry/export.h"
+#include "telemetry/session.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -31,7 +41,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: mcc FILE.mc | --workload NAME  [--strategy STORn] "
                "[--method bt|hs] [-k N] [--fu N] [--rename] [--dump-tac] "
-               "[--dump-liw] [--run]\n");
+               "[--dump-liw] [--run] [--threads N] [--trace FILE.json] "
+               "[--stats]\n");
   return 2;
 }
 
@@ -47,7 +58,8 @@ int main(int argc, char** argv) {
   opts.sched.module_count = 8;
   opts.assign.module_count = 8;
   bool dump_tac = false, dump_liw = false, dump_dot = false,
-       emit_stream = false, run = false;
+       emit_stream = false, run = false, stats = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,6 +102,12 @@ int main(int argc, char** argv) {
       emit_stream = true;
     } else if (arg == "--run") {
       run = true;
+    } else if (arg == "--threads") {
+      opts.parallel.threads = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (!arg.empty() && arg[0] != '-') {
       std::ifstream in(arg);
       if (!in) {
@@ -105,6 +123,16 @@ int main(int argc, char** argv) {
     }
   }
   if (source.empty()) return usage();
+
+  const bool telemetry_requested = !trace_path.empty() || stats;
+  if (telemetry_requested) {
+    if (!telemetry::kEnabled) {
+      std::fprintf(stderr,
+                   "warning: built with -DPARMEM_TELEMETRY=OFF — the trace "
+                   "and stats will be empty\n");
+    }
+    telemetry::TraceSession::global().start();
+  }
 
   try {
     const auto c = analysis::compile_mc(source, opts);
@@ -156,6 +184,27 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(pair.sequential.cycles),
                   static_cast<double>(pair.sequential.cycles) /
                       static_cast<double>(pair.liw.cycles));
+    }
+
+    if (telemetry_requested) {
+      telemetry::TraceSession::global().stop();
+      const auto lanes = telemetry::TraceSession::global().take();
+      if (!trace_path.empty()) {
+        if (!telemetry::write_chrome_trace(
+                trace_path, lanes, telemetry::TraceSession::global().start_ns())) {
+          std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+          return 1;
+        }
+        std::fprintf(stderr, "trace written to %s (%zu lanes)\n",
+                     trace_path.c_str(), lanes.size());
+      }
+      if (stats) {
+        std::printf("%s\n", telemetry::phase_summary(lanes).c_str());
+        std::printf("%s",
+                    telemetry::counters_table(
+                        telemetry::Registry::instance().snapshot())
+                        .c_str());
+      }
     }
   } catch (const support::UserError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -5,36 +5,77 @@
 #include "lower/lower.h"
 #include "support/diagnostics.h"
 #include "support/thread_pool.h"
+#include "telemetry/telemetry.h"
 
 namespace parmem::analysis {
 
 Compiled compile_mc(const std::string& source, const PipelineOptions& opts,
                     support::ThreadPool* pool) {
+  PARMEM_SPAN("pipeline.compile");
+  const telemetry::Snapshot before =
+      telemetry::Registry::instance().snapshot();
   Compiled c;
 
-  frontend::Program ast = frontend::parse(source);
-  frontend::sema(ast);
-  c.unroll_stats = frontend::unroll_loops(ast, opts.unroll);
-  c.tac = lower::lower_program(ast, opts.lower);
+  frontend::Program ast;
+  {
+    PARMEM_SPAN("pipeline.parse");
+    ast = frontend::parse(source);
+  }
+  {
+    PARMEM_SPAN("pipeline.sema");
+    frontend::sema(ast);
+  }
+  {
+    PARMEM_SPAN("pipeline.unroll");
+    c.unroll_stats = frontend::unroll_loops(ast, opts.unroll);
+  }
+  {
+    PARMEM_SPAN("pipeline.lower");
+    c.tac = lower::lower_program(ast, opts.lower);
+  }
   if (opts.rename) {
+    PARMEM_SPAN("pipeline.rename");
     c.rename_stats = lower::rename_locals(c.tac);
   }
   if (opts.if_convert.max_ops > 0) {
+    PARMEM_SPAN("pipeline.if_convert");
     c.if_convert_stats = lower::if_convert(c.tac, opts.if_convert);
   }
   if (opts.optimize) {
+    PARMEM_SPAN("pipeline.optimize");
     c.opt_stats = lower::optimize(c.tac);
   }
 
-  c.liw = sched::schedule(c.tac, opts.sched, &c.sched_stats);
-  c.stream = ir::AccessStream::from_liw(c.liw, opts.include_writes,
-                                        opts.duplicate_mutables);
-  assign::AssignOptions assign_opts = opts.assign;
-  assign_opts.pool = pool;
-  c.assignment = assign::assign_modules(c.stream, assign_opts);
-  c.verify = assign::verify_assignment(c.stream, c.assignment);
-  c.transfer_stats =
-      sched::schedule_transfers(c.liw, c.assignment, opts.sched.fu_count);
+  {
+    PARMEM_SPAN("pipeline.schedule");
+    c.liw = sched::schedule(c.tac, opts.sched, &c.sched_stats);
+  }
+  {
+    PARMEM_SPAN("pipeline.stream");
+    c.stream = ir::AccessStream::from_liw(c.liw, opts.include_writes,
+                                          opts.duplicate_mutables);
+  }
+  {
+    PARMEM_SPAN("pipeline.assign");
+    assign::AssignOptions assign_opts = opts.assign;
+    assign_opts.pool = pool;
+    c.assignment = assign::assign_modules(c.stream, assign_opts);
+  }
+  {
+    PARMEM_SPAN("pipeline.verify");
+    c.verify = assign::verify_assignment(c.stream, c.assignment);
+  }
+  {
+    PARMEM_SPAN("pipeline.transfer_sched");
+    c.transfer_stats =
+        sched::schedule_transfers(c.liw, c.assignment, opts.sched.fu_count);
+  }
+  PARMEM_COUNTER_ADD("pipeline.compiles", 1);
+  PARMEM_COUNTER_ADD("sched.words", c.sched_stats.words);
+  PARMEM_COUNTER_ADD("sched.transfers_scheduled", c.transfer_stats.transfers);
+  PARMEM_COUNTER_ADD("sched.transfer_words_added",
+                     c.transfer_stats.words_added);
+  c.telemetry = telemetry::Registry::instance().snapshot().since(before);
   return c;
 }
 

@@ -26,6 +26,7 @@
 #include "machine/simulator.h"
 #include "sched/list_scheduler.h"
 #include "sched/transfer_sched.h"
+#include "telemetry/registry.h"
 
 namespace parmem::support {
 class ThreadPool;
@@ -74,6 +75,13 @@ struct Compiled {
   assign::VerifyReport verify;
   sched::TransferStats transfer_stats;
   ir::LiwProgram liw;                 // final program, transfers included
+  /// Per-compile telemetry counter deltas (conflicts before/after coloring,
+  /// |V_unassigned|, copies inserted, colors used, ... — the taxonomy is in
+  /// DESIGN.md §10). Tests and benches read these instead of re-deriving
+  /// them. Empty when built with -DPARMEM_TELEMETRY=OFF; exact per compile
+  /// unless other compiles run concurrently (the registry is process-wide —
+  /// under compile_batch, snapshot around the whole batch instead).
+  telemetry::Snapshot telemetry;
 };
 
 /// Compiles MC source through the whole pipeline. Honours opts.parallel by

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iterator>
 
+#include <bit>
+
 #include "assign/backtrack.h"
 #include "assign/conflict_graph.h"
 #include "assign/hitting_set_approach.h"
@@ -11,6 +13,7 @@
 #include "support/diagnostics.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
+#include "telemetry/telemetry.h"
 
 namespace parmem::assign {
 
@@ -118,6 +121,7 @@ void duplicate_atom_parallel(
   const std::uint64_t base_seed = ctx.rng->next();
   opts.pool->parallel_for(atoms.size(), [&](std::size_t i) {
     if (per_atom[i].empty()) return;
+    PARMEM_SPAN("assign.dup_atom");
     thread_local AssignWorkspace tls;  // per-worker scratch
     PlacementState local = *ctx.st;
     support::SplitMix64 rng(base_seed + i);
@@ -165,10 +169,25 @@ void run_pass(PassContext& ctx,
   const ir::AccessStream& stream = *ctx.stream;
   const AssignOptions& opts = *ctx.opts;
 
-  const ConflictGraph cg =
-      ConflictGraph::build_from_insts(stream.value_count, insts);
+  const ConflictGraph cg = [&] {
+    PARMEM_SPAN("assign.conflict_graph");
+    return ConflictGraph::build_from_insts(stream.value_count, insts);
+  }();
   const std::size_t n = cg.vertex_count();
   if (n == 0) return;
+
+  // "Conflicts before": the access-conflict graph this pass must color
+  // away. Edge count and total conf weight feed the paper's Tables 1–2
+  // accounting; the derivation loop is telemetry-only work (a preprocessor
+  // guard, not if constexpr, so the OFF build has no unused locals).
+#if PARMEM_TELEMETRY_ENABLED
+  {
+    PARMEM_COUNTER_ADD("assign.conflict_edges", cg.graph().edge_count());
+    std::uint64_t weight = 0;
+    for (graph::Vertex v = 0; v < n; ++v) weight += cg.conf_sum(v);
+    PARMEM_COUNTER_ADD("assign.conflict_weight", weight / 2);
+  }
+#endif
 
   std::vector<std::int32_t> precolored(n, kUnassignedModule);
   std::vector<bool> never_remove(n, false);
@@ -200,11 +219,13 @@ void run_pass(PassContext& ctx,
 
   ColorResult cr;
   if (!any_skip) {
+    PARMEM_SPAN("assign.color");
     cr = color_conflict_graph(cg, {opts.module_count, opts.use_atoms,
                                    opts.pick, opts.pool},
                               precolored, never_remove, ctx.module_load,
                               ctx.ws);
   } else {
+    PARMEM_SPAN("assign.color");
     // Rebuild instructions without the already-removed values; their
     // conflicts are handled by the duplication phase below.
     std::vector<std::vector<ir::ValueId>> reduced;
@@ -272,10 +293,13 @@ void run_pass(PassContext& ctx,
   // the instructions partition along the coloring's atoms (the skip branch
   // above leaves cr.atoms empty, so later STOR2/3 passes over previously
   // reduced graphs keep the serial path).
-  if (opts.pool != nullptr && cr.atoms.size() > 1) {
-    duplicate_atom_parallel(ctx, insts, cg, cr.atoms);
-  } else {
-    run_duplication(ctx, insts, *ctx.st, *ctx.rng, ctx.ws);
+  {
+    PARMEM_SPAN("assign.duplicate");
+    if (opts.pool != nullptr && cr.atoms.size() > 1) {
+      duplicate_atom_parallel(ctx, insts, cg, cr.atoms);
+    } else {
+      run_duplication(ctx, insts, *ctx.st, *ctx.rng, ctx.ws);
+    }
   }
 
   // Safety net: every value seen in this pass must end with >= 1 copy.
@@ -309,6 +333,7 @@ std::vector<std::vector<ir::ValueId>> materialize(
 
 AssignResult assign_modules(const ir::AccessStream& stream,
                             const AssignOptions& opts) {
+  PARMEM_SPAN("assign.total");
   PARMEM_CHECK(opts.module_count >= 1 && opts.module_count <= kMaxModules,
                "module count out of range");
   PARMEM_CHECK(stream.duplicatable.size() == stream.value_count &&
@@ -420,6 +445,27 @@ AssignResult assign_modules(const ir::AccessStream& stream,
 
   result.placement = st.placements();
   result.removed = std::move(removed);
+
+  // The paper's evaluation counters, once per assignment. Conflicts-before
+  // (assign.conflict_edges/_weight) accumulate per pass in run_pass;
+  // residual_conflict_tuples is "conflicts after".
+#if PARMEM_TELEMETRY_ENABLED
+  {
+    const AssignStats& s = result.stats;
+    PARMEM_COUNTER_ADD("assign.values_used", s.values_used);
+    PARMEM_COUNTER_ADD("assign.copies_total", s.total_copies);
+    PARMEM_COUNTER_ADD("assign.copies_inserted",
+                       s.total_copies - (s.single_copy + s.multi_copy));
+    PARMEM_COUNTER_ADD("assign.v_unassigned", s.unassigned_after_coloring);
+    PARMEM_COUNTER_ADD("assign.forced", s.forced);
+    PARMEM_COUNTER_ADD("assign.residual_conflict_tuples",
+                       s.residual_conflict_tuples);
+    PARMEM_COUNTER_ADD("assign.duplication_rounds", s.duplication_rounds);
+    ModuleSet any = 0;
+    for (const ModuleSet m : result.placement) any |= m;
+    PARMEM_GAUGE_SET("assign.colors_used", std::popcount(any));
+  }
+#endif
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "graph/atoms.h"
 #include "support/diagnostics.h"
 #include "support/thread_pool.h"
+#include "telemetry/telemetry.h"
 
 namespace parmem::assign {
 namespace {
@@ -42,6 +43,7 @@ void color_atom(const ConflictGraph& cg, const std::vector<Vertex>& atom,
                 std::vector<bool>& decided, const std::vector<bool>& never_remove,
                 std::vector<std::size_t>& load, AssignWorkspace& ws,
                 ColorResult& result) {
+  PARMEM_SPAN("assign.color_atom");
   const std::size_t k = opts.module_count;
   const graph::Graph& g = cg.graph();
 
@@ -302,7 +304,10 @@ ColorResult color_conflict_graph(const ConflictGraph& cg,
   }
 
   if (opts.use_atoms && n > 0) {
-    auto atoms = graph::decompose_by_clique_separators(cg.graph());
+    auto atoms = [&] {
+      PARMEM_SPAN("assign.atoms");  // MCS-M + clique-separator decomposition
+      return graph::decompose_by_clique_separators(cg.graph());
+    }();
     // Reverse generation order: each atom then meets the already-colored
     // part exactly in its clique separator (see atoms.h).
     std::reverse(atoms.begin(), atoms.end());

@@ -9,8 +9,33 @@
 #include "support/diagnostics.h"
 #include "support/matching.h"
 #include "support/rng.h"
+#include "telemetry/telemetry.h"
 
 namespace parmem::machine {
+
+namespace {
+
+/// Emits the run's headline numbers as telemetry counters so traces line up
+/// simulator cost against the compile-time phases. Mirrors RunResult — the
+/// invariants tying these together are tested in
+/// tests/machine/run_result_invariants_test.cpp.
+void count_run(const RunResult& res) {
+#if PARMEM_TELEMETRY_ENABLED
+  PARMEM_COUNTER_ADD("sim.runs", 1);
+  PARMEM_COUNTER_ADD("sim.cycles", res.cycles);
+  PARMEM_COUNTER_ADD("sim.words", res.words_executed);
+  PARMEM_COUNTER_ADD("sim.conflict_words", res.conflict_words);
+  PARMEM_COUNTER_ADD("sim.stall_cycles", res.cycles - res.words_executed);
+  PARMEM_COUNTER_ADD("sim.memory_transfer_time", res.memory_transfer_time);
+  PARMEM_COUNTER_ADD("sim.scalar_fetches", res.scalar_fetches);
+  PARMEM_COUNTER_ADD("sim.array_accesses", res.array_accesses);
+  PARMEM_COUNTER_ADD("sim.transfers_executed", res.transfers_executed);
+#else
+  (void)res;
+#endif
+}
+
+}  // namespace
 
 const char* array_policy_name(ArrayPolicy p) {
   switch (p) {
@@ -239,6 +264,7 @@ struct WordTraffic {
 RunResult run_liw(const ir::LiwProgram& prog,
                   const assign::AssignResult& assignment,
                   const MachineConfig& config, const MemoryImage& image) {
+  PARMEM_SPAN("sim.run_liw");
   const std::size_t k = config.module_count;
   PARMEM_CHECK(k >= 1, "need at least one module");
   PARMEM_CHECK(assignment.placement.size() == prog.values.size(),
@@ -450,12 +476,14 @@ RunResult run_liw(const ir::LiwProgram& prog,
     if (halted) break;
     pc = branch_to >= 0 ? static_cast<std::size_t>(branch_to) : pc + 1;
   }
+  count_run(res);
   return res;
 }
 
 RunResult run_sequential(const ir::TacProgram& prog,
                          const MachineConfig& config,
                          const MemoryImage& image) {
+  PARMEM_SPAN("sim.run_sequential");
   Evaluator ev(prog.values, prog.arrays);
   ev.load_image(image, prog.arrays);
   RunResult res;
@@ -507,6 +535,7 @@ RunResult run_sequential(const ir::TacProgram& prog,
         ++pc;
         break;
       case Opcode::kHalt:
+        count_run(res);
         return res;
       default:
         ev.env_[in.dst] = ev.eval(in);
@@ -514,6 +543,7 @@ RunResult run_sequential(const ir::TacProgram& prog,
         break;
     }
   }
+  count_run(res);
   return res;
 }
 

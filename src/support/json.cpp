@@ -1,0 +1,134 @@
+#include "support/json.h"
+
+#include <cstdio>
+
+namespace parmem::support {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(has_item_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::pre_item() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes the "key: value" pair; no comma, no newline
+  }
+  if (!has_item_.empty()) {
+    if (has_item_.back()) out_ += ',';
+    has_item_.back() = true;
+    newline_indent();
+  }
+}
+
+void JsonWriter::begin_object() {
+  pre_item();
+  out_ += '{';
+  has_item_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  const bool had_items = !has_item_.empty() && has_item_.back();
+  has_item_.pop_back();
+  if (had_items) newline_indent();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  pre_item();
+  out_ += '[';
+  has_item_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  const bool had_items = !has_item_.empty() && has_item_.back();
+  has_item_.pop_back();
+  if (had_items) newline_indent();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  pre_item();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  pre_item();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(bool b) {
+  pre_item();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::value(std::int64_t v) {
+  pre_item();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  pre_item();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(double d) {
+  pre_item();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Prefer the shorter "%g" form when it round-trips to the same value.
+  char shorter[40];
+  std::snprintf(shorter, sizeof(shorter), "%g", d);
+  double back = 0;
+  if (std::sscanf(shorter, "%lf", &back) == 1 && back == d) {
+    out_ += shorter;
+  } else {
+    out_ += buf;
+  }
+}
+
+void JsonWriter::value_fixed(double d, int digits) {
+  pre_item();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, d);
+  out_ += buf;
+}
+
+void JsonWriter::null() {
+  pre_item();
+  out_ += "null";
+}
+
+}  // namespace parmem::support

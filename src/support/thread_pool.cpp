@@ -1,6 +1,9 @@
 #include "support/thread_pool.h"
 
 #include <exception>
+#include <string>
+
+#include "telemetry/telemetry.h"
 
 namespace parmem::support {
 
@@ -33,7 +36,12 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run_task(const Task& task) {
   const bool was_in_task = tl_in_task;
   tl_in_task = true;
-  task();
+  {
+    // One span per pool task: in a trace, a worker's lane shows its task
+    // stream with the finer-grained atom spans nested inside.
+    PARMEM_SPAN("pool.task");
+    task();
+  }
   tl_in_task = was_in_task;
 }
 
@@ -73,6 +81,9 @@ bool ThreadPool::try_take(std::size_t preferred, Task& out) {
 }
 
 void ThreadPool::worker_loop(std::size_t id) {
+  if constexpr (telemetry::kEnabled) {
+    telemetry::set_thread_name("worker-" + std::to_string(id));
+  }
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     Task task;

@@ -1,0 +1,50 @@
+// Telemetry event model and the compile-time kill switch.
+//
+// PARMEM_TELEMETRY_ENABLED is injected by CMake (option PARMEM_TELEMETRY,
+// default ON). When it is 0, every instrumentation macro in telemetry.h
+// expands to nothing, Span never reads the clock, and the only residue in
+// the binary is the (never-called) cold-path session/export code — the hot
+// paths are byte-for-byte the uninstrumented program.
+//
+// An event is 40 bytes and carries a `const char*` name: instrumentation
+// sites pass string literals, so names need neither copies nor ownership.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#ifndef PARMEM_TELEMETRY_ENABLED
+#define PARMEM_TELEMETRY_ENABLED 1
+#endif
+
+namespace parmem::telemetry {
+
+/// True when the instrumentation macros are compiled in. `if constexpr
+/// (kEnabled)` guards telemetry-only computation (e.g. counter inputs that
+/// take a loop to derive) so the OFF build carries zero overhead.
+inline constexpr bool kEnabled = PARMEM_TELEMETRY_ENABLED != 0;
+
+enum class EventKind : std::uint8_t {
+  kSpan,     // a completed scoped timer: [t0_ns, t1_ns]
+  kCounter,  // a metric sample at t0_ns with the post-update value
+  kInstant,  // a point-in-time marker at t0_ns
+};
+
+struct TraceEvent {
+  EventKind kind = EventKind::kInstant;
+  const char* name = nullptr;  // static storage duration (string literal)
+  std::uint64_t t0_ns = 0;
+  std::uint64_t t1_ns = 0;     // spans only
+  std::int64_t value = 0;      // counter samples only
+};
+
+/// Monotonic timestamp. Raw steady_clock nanoseconds; the exporter
+/// normalizes to the session start.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace parmem::telemetry

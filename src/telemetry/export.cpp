@@ -1,0 +1,167 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string_view>
+
+#include "support/json.h"
+#include "support/table.h"
+
+namespace parmem::telemetry {
+
+namespace {
+
+double to_us(std::uint64_t ns, std::uint64_t t0_ns) {
+  // Events always postdate the session start; guard anyway so a stray
+  // pre-start event cannot produce a huge unsigned wrap.
+  return ns >= t0_ns ? static_cast<double>(ns - t0_ns) / 1000.0 : 0.0;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<Lane>& lanes,
+                            std::uint64_t t0_ns) {
+  support::JsonWriter w(0);  // compact: traces get large
+  w.begin_object();
+  w.member("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  w.begin_object();
+  w.member("ph", "M");
+  w.member("name", "process_name");
+  w.member("pid", 1);
+  w.key("args");
+  w.begin_object();
+  w.member("name", "parmem");
+  w.end_object();
+  w.end_object();
+
+  for (const Lane& lane : lanes) {
+    w.begin_object();
+    w.member("ph", "M");
+    w.member("name", "thread_name");
+    w.member("pid", 1);
+    w.member("tid", lane.id);
+    w.key("args");
+    w.begin_object();
+    w.member("name", lane.name);
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const Lane& lane : lanes) {
+    for (const TraceEvent& e : lane.events) {
+      w.begin_object();
+      switch (e.kind) {
+        case EventKind::kSpan:
+          w.member("ph", "X");
+          w.member("name", e.name);
+          w.member("cat", "parmem");
+          w.member("pid", 1);
+          w.member("tid", lane.id);
+          w.member_fixed("ts", to_us(e.t0_ns, t0_ns), 3);
+          w.member_fixed("dur", to_us(e.t1_ns, e.t0_ns), 3);
+          break;
+        case EventKind::kCounter:
+          w.member("ph", "C");
+          w.member("name", e.name);
+          w.member("pid", 1);
+          w.member("tid", lane.id);
+          w.member_fixed("ts", to_us(e.t0_ns, t0_ns), 3);
+          w.key("args");
+          w.begin_object();
+          w.member("value", e.value);
+          w.end_object();
+          break;
+        case EventKind::kInstant:
+          w.member("ph", "i");
+          w.member("name", e.name);
+          w.member("pid", 1);
+          w.member("tid", lane.id);
+          w.member_fixed("ts", to_us(e.t0_ns, t0_ns), 3);
+          w.member("s", "t");
+          break;
+      }
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<Lane>& lanes,
+                        std::uint64_t t0_ns) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_chrome_trace(lanes, t0_ns);
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+std::string phase_summary(const std::vector<Lane>& lanes) {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  std::map<std::string_view, Agg> by_name;
+  std::uint64_t dropped = 0;
+  for (const Lane& lane : lanes) {
+    dropped += lane.dropped;
+    for (const TraceEvent& e : lane.events) {
+      if (e.kind != EventKind::kSpan) continue;
+      Agg& a = by_name[e.name];
+      const std::uint64_t d = e.t1_ns - e.t0_ns;
+      ++a.count;
+      a.total_ns += d;
+      a.max_ns = std::max(a.max_ns, d);
+    }
+  }
+
+  std::vector<std::pair<std::string_view, Agg>> rows(by_name.begin(),
+                                                     by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_ns != b.second.total_ns) {
+      return a.second.total_ns > b.second.total_ns;
+    }
+    return a.first < b.first;
+  });
+
+  support::TextTable t({"span", "count", "total ms", "mean ms", "max ms"});
+  t.set_align(0, support::Align::kLeft);
+  for (const auto& [name, a] : rows) {
+    const double total_ms = static_cast<double>(a.total_ns) / 1e6;
+    t.add_row({std::string(name), std::to_string(a.count),
+               support::format_fixed(total_ms, 3),
+               support::format_fixed(total_ms / static_cast<double>(a.count),
+                                     3),
+               support::format_fixed(static_cast<double>(a.max_ns) / 1e6,
+                                     3)});
+  }
+  std::string out = t.render();
+  if (dropped > 0) {
+    out += "(" + std::to_string(dropped) +
+           " events dropped by full ring buffers)\n";
+  }
+  return out;
+}
+
+std::string counters_table(const Snapshot& snapshot) {
+  support::TextTable t({"metric", "kind", "value"});
+  t.set_align(0, support::Align::kLeft);
+  t.set_align(1, support::Align::kLeft);
+  for (const Snapshot::Entry& e : snapshot.entries) {
+    t.add_row({e.name, e.kind == MetricKind::kCounter ? "counter" : "gauge",
+               std::to_string(e.value)});
+  }
+  return t.render();
+}
+
+}  // namespace parmem::telemetry

@@ -1,0 +1,41 @@
+// Trace exporters: Chrome trace-event JSON and plain-text summaries.
+//
+// The JSON form loads in chrome://tracing and Perfetto: one lane ("tid")
+// per thread that emitted events, "X" complete events for spans, "C"
+// counter samples (rendered as tracks), "i" instants, and thread_name
+// metadata so atom-parallel runs read as named per-worker lanes.
+//
+// The text forms feed --stats and the tests: a per-span aggregate table
+// (count / total / mean / max wall ms) and a name→value metric table, both
+// rendered with support::TextTable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.h"
+#include "telemetry/session.h"
+
+namespace parmem::telemetry {
+
+/// Serializes lanes as a Chrome trace-event JSON document. Timestamps are
+/// microseconds relative to `t0_ns` (pass TraceSession::start_ns()).
+std::string to_chrome_trace(const std::vector<Lane>& lanes,
+                            std::uint64_t t0_ns);
+
+/// to_chrome_trace + write to `path`. Returns false when the file cannot
+/// be opened.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<Lane>& lanes, std::uint64_t t0_ns);
+
+/// Aggregates span events by name across all lanes and renders:
+///   span | count | total ms | mean ms | max ms
+/// sorted by total descending. Lanes with ring-full drops are flagged in a
+/// trailing note.
+std::string phase_summary(const std::vector<Lane>& lanes);
+
+/// Renders a Snapshot as `metric | kind | value` rows, sorted by name.
+std::string counters_table(const Snapshot& snapshot);
+
+}  // namespace parmem::telemetry

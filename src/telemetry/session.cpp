@@ -1,0 +1,48 @@
+#include "telemetry/session.h"
+
+#include "telemetry/registry.h"
+#include "telemetry/sink.h"
+
+namespace parmem::telemetry {
+
+TraceSession& TraceSession::global() {
+  static TraceSession s;
+  return s;
+}
+
+void TraceSession::start() {
+  if constexpr (!kEnabled) return;
+  SinkRegistry& reg = SinkRegistry::instance();
+  // The driving thread usually owns the root spans; give it a stable name
+  // unless somebody chose one already.
+  ThreadSink& mine = local_sink();
+  if (reg.name(mine).rfind("thread-", 0) == 0) reg.set_name(mine, "main");
+  Registry::instance().reset();
+  for (ThreadSink* s : reg.sinks()) s->clear();
+  t0_ = now_ns();
+  session_active_flag().store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::stop() {
+  if constexpr (!kEnabled) return;
+  session_active_flag().store(false, std::memory_order_relaxed);
+}
+
+bool TraceSession::active() const { return tracing_active(); }
+
+std::vector<Lane> TraceSession::take() {
+  std::vector<Lane> lanes;
+  if constexpr (!kEnabled) return lanes;
+  SinkRegistry& reg = SinkRegistry::instance();
+  for (ThreadSink* s : reg.sinks()) {
+    Lane lane;
+    lane.id = s->lane();
+    lane.name = reg.name(*s);
+    lane.dropped = s->dropped();
+    s->drain(lane.events);
+    if (!lane.events.empty()) lanes.push_back(std::move(lane));
+  }
+  return lanes;
+}
+
+}  // namespace parmem::telemetry

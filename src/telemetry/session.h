@@ -1,0 +1,53 @@
+// Process-wide trace session: the on/off switch for event recording and the
+// drain point that turns per-thread rings into per-lane event lists.
+//
+// One session exists per process (sinks are process-global); start() zeroes
+// the metric registry, clears every ring, and flips the active flag; stop()
+// flips it back. take() drains the rings into Lanes — call it after stop(),
+// or while only already-quiesced threads have emitted (the SPSC protocol
+// makes a concurrent drain race-free, merely incomplete).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/event.h"
+
+namespace parmem::telemetry {
+
+/// Events of one thread, in emission order, with its lane id and name.
+struct Lane {
+  std::uint32_t id = 0;
+  std::string name;
+  std::uint64_t dropped = 0;  // ring-full drops over the sink's lifetime
+  std::vector<TraceEvent> events;
+};
+
+class TraceSession {
+ public:
+  static TraceSession& global();
+
+  /// Zeroes the metric registry, discards buffered events, names the
+  /// calling thread's lane "main" (unless already named), records t0 and
+  /// starts recording. No-op storm-proof: calling start() twice restarts.
+  void start();
+
+  /// Stops recording. Buffered events stay drainable via take().
+  void stop();
+
+  bool active() const;
+
+  /// Drains every sink. Lanes arrive in lane-id order; lanes that never
+  /// emitted are omitted. Events keep raw steady_clock timestamps —
+  /// exporters subtract start_ns().
+  std::vector<Lane> take();
+
+  /// steady_clock ns at the last start().
+  std::uint64_t start_ns() const { return t0_; }
+
+ private:
+  std::uint64_t t0_ = 0;
+};
+
+}  // namespace parmem::telemetry

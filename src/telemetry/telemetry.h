@@ -1,0 +1,94 @@
+// Telemetry instrumentation surface: the RAII Span and the PARMEM_* macros.
+//
+// Include this header at instrumentation sites; include session.h / export.h
+// only where sessions are driven (mcc, tests). The macros:
+//
+//   PARMEM_SPAN("pipeline.parse");          // scoped timer to end of block
+//   PARMEM_COUNTER_ADD("assign.copies", n); // monotonic named counter
+//   PARMEM_GAUGE_SET("assign.colors", k);   // last-value named gauge
+//   PARMEM_INSTANT("assign.backtrack");     // point marker in the trace
+//
+// Span and instant events are recorded only while a TraceSession is active
+// (a relaxed atomic load otherwise); counters and gauges always accumulate
+// so per-compile Snapshot deltas work without a session. With
+// -DPARMEM_TELEMETRY=OFF every macro expands to `((void)0)` — arguments are
+// not evaluated — and `telemetry::kEnabled` is false, which `if constexpr`
+// guards use to drop telemetry-only derivation code from the build.
+//
+// The span/counter taxonomy is documented in DESIGN.md §10.
+#pragma once
+
+#include "telemetry/event.h"
+#include "telemetry/registry.h"
+#include "telemetry/sink.h"
+
+namespace parmem::telemetry {
+
+/// Scoped timer. Captures the start time at construction when a session is
+/// active and pushes one kSpan event at destruction. `name` must have
+/// static storage duration (pass a string literal).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (tracing_active()) {
+      name_ = name;
+      t0_ = now_ns();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      local_sink().push({EventKind::kSpan, name_, t0_, now_ns(), 0});
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t t0_ = 0;
+};
+
+}  // namespace parmem::telemetry
+
+#if PARMEM_TELEMETRY_ENABLED
+
+#define PARMEM_TELEMETRY_CONCAT2(a, b) a##b
+#define PARMEM_TELEMETRY_CONCAT(a, b) PARMEM_TELEMETRY_CONCAT2(a, b)
+
+#define PARMEM_SPAN(name)                 \
+  ::parmem::telemetry::Span PARMEM_TELEMETRY_CONCAT(parmem_span_, \
+                                                    __LINE__)(name)
+
+#define PARMEM_COUNTER_ADD(name, delta)                               \
+  do {                                                                \
+    static ::parmem::telemetry::Metric& parmem_metric_ref =           \
+        ::parmem::telemetry::Registry::instance().counter(name);      \
+    ::parmem::telemetry::bump(parmem_metric_ref, name,                \
+                              static_cast<std::int64_t>(delta));      \
+  } while (0)
+
+#define PARMEM_GAUGE_SET(name, v)                                     \
+  do {                                                                \
+    static ::parmem::telemetry::Metric& parmem_metric_ref =           \
+        ::parmem::telemetry::Registry::instance().gauge(name);        \
+    ::parmem::telemetry::record(parmem_metric_ref, name,              \
+                                static_cast<std::int64_t>(v));        \
+  } while (0)
+
+#define PARMEM_INSTANT(name)                                          \
+  do {                                                                \
+    if (::parmem::telemetry::tracing_active()) {                      \
+      ::parmem::telemetry::local_sink().push(                         \
+          {::parmem::telemetry::EventKind::kInstant, name,            \
+           ::parmem::telemetry::now_ns(), 0, 0});                     \
+    }                                                                 \
+  } while (0)
+
+#else  // PARMEM_TELEMETRY_ENABLED == 0: macros vanish, args unevaluated.
+
+#define PARMEM_SPAN(name) ((void)0)
+#define PARMEM_COUNTER_ADD(name, delta) ((void)0)
+#define PARMEM_GAUGE_SET(name, v) ((void)0)
+#define PARMEM_INSTANT(name) ((void)0)
+
+#endif  // PARMEM_TELEMETRY_ENABLED

@@ -135,7 +135,9 @@ TEST(WorkloadGolden, ColorProducesAValidColoring) {
     ASSERT_GE(color[i], 0);
     ASSERT_LT(color[i], 3);
     for (int j = 0; j < 8; ++j) {
-      if (adj[i][j] && color[j] >= 0) EXPECT_NE(color[i], color[j]);
+      if (adj[i][j] && color[j] >= 0) {
+        EXPECT_NE(color[i], color[j]);
+      }
     }
   }
   EXPECT_EQ(removed_seen, removed);

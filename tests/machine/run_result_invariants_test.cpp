@@ -1,0 +1,150 @@
+// Cross-field invariants of machine::RunResult: the counters the simulator
+// reports are not independent — the per-word max-load histogram determines
+// cycles, memory_transfer_time and conflict_words exactly, and every module
+// access is attributable to a scalar fetch, an array access or a transfer
+// port. Checked across every seed workload, several array policies and
+// Δ values, so any future change to the accounting has to keep the
+// counters mutually consistent.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "analysis/pipeline.h"
+#include "telemetry/registry.h"
+#include "workloads/workloads.h"
+
+namespace parmem {
+namespace {
+
+analysis::Compiled compile_workload(const std::string& source) {
+  analysis::PipelineOptions opts;
+  opts.sched.fu_count = 8;
+  opts.sched.module_count = 8;
+  opts.assign.module_count = 8;
+  return analysis::compile_mc(source, opts);
+}
+
+std::uint64_t sum(const std::vector<std::uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+}
+
+void check_liw_invariants(const machine::RunResult& r,
+                          const machine::MachineConfig& cfg) {
+  ASSERT_EQ(r.module_accesses.size(), cfg.module_count);
+
+  // Every module access is a scalar fetch, an array access, or one of a
+  // transfer's two ports (count_writes is off in these configs).
+  EXPECT_EQ(sum(r.module_accesses),
+            r.scalar_fetches + r.array_accesses + 2 * r.transfers_executed);
+
+  // The histogram partitions the executed words by max per-module load...
+  EXPECT_EQ(sum(r.max_load_histogram), r.words_executed);
+
+  // ...and determines the headline timing counters exactly.
+  std::uint64_t cycles = 0, mtt = 0, conflicts = 0;
+  for (std::size_t i = 0; i < r.max_load_histogram.size(); ++i) {
+    const std::uint64_t h = r.max_load_histogram[i];
+    cycles += h * std::max<std::uint64_t>(1, cfg.delta * i);
+    mtt += h * cfg.delta * i;
+    if (i > 1) conflicts += h;
+  }
+  EXPECT_EQ(r.cycles, cycles);
+  EXPECT_EQ(r.memory_transfer_time, mtt);
+  EXPECT_EQ(r.conflict_words, conflicts);
+
+  // A word costs at least one cycle.
+  EXPECT_GE(r.cycles, r.words_executed);
+}
+
+TEST(RunResultInvariants, LiwCountersAreConsistentAcrossSeedWorkloads) {
+  for (const auto& w : workloads::all_workloads()) {
+    const analysis::Compiled c = compile_workload(w.source);
+    for (const machine::ArrayPolicy policy :
+         {machine::ArrayPolicy::kInterleaved,
+          machine::ArrayPolicy::kSingleModule,
+          machine::ArrayPolicy::kUniformRandom,
+          machine::ArrayPolicy::kWorstCase}) {
+      for (const std::uint64_t delta : {std::uint64_t{1}, std::uint64_t{4}}) {
+        SCOPED_TRACE(std::string(w.name) + " / " +
+                     machine::array_policy_name(policy) + " / delta=" +
+                     std::to_string(delta));
+        machine::MachineConfig cfg;
+        cfg.module_count = 8;
+        cfg.fu_count = 8;
+        cfg.array_policy = policy;
+        cfg.delta = delta;
+        const machine::RunResult r =
+            machine::run_liw(c.liw, c.assignment, cfg);
+        check_liw_invariants(r, cfg);
+      }
+    }
+  }
+}
+
+TEST(RunResultInvariants, SequentialCountersAreConsistent) {
+  for (const auto& w : workloads::all_workloads()) {
+    SCOPED_TRACE(w.name);
+    const analysis::Compiled c = compile_workload(w.source);
+    machine::MachineConfig cfg;
+    cfg.module_count = 8;
+    cfg.delta = 2;
+    const machine::RunResult r = machine::run_sequential(c.tac, cfg);
+
+    // One op per step, every access serialized through a single port.
+    EXPECT_EQ(r.ops_executed, r.words_executed);
+    EXPECT_EQ(r.memory_transfer_time,
+              cfg.delta * (r.scalar_fetches + r.array_accesses));
+    // max(1, Δ·a) per op bounds cycles between the two extremes.
+    EXPECT_GE(r.cycles, std::max(r.words_executed, r.memory_transfer_time));
+    EXPECT_LE(r.cycles, r.words_executed + r.memory_transfer_time);
+  }
+}
+
+TEST(RunResultInvariants, LiwOutputMatchesSequentialReference) {
+  for (const auto& w : workloads::all_workloads()) {
+    SCOPED_TRACE(w.name);
+    const analysis::Compiled c = compile_workload(w.source);
+    machine::MachineConfig cfg;
+    cfg.module_count = 8;
+    cfg.fu_count = 8;
+    const machine::RunResult liw = machine::run_liw(c.liw, c.assignment, cfg);
+    const machine::RunResult seq = machine::run_sequential(c.tac, cfg);
+    EXPECT_EQ(liw.output, seq.output);
+  }
+}
+
+TEST(RunResultInvariants, TelemetryCountersMirrorRunResult) {
+  if constexpr (!telemetry::kEnabled) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  const analysis::Compiled c =
+      compile_workload(workloads::all_workloads().front().source);
+  machine::MachineConfig cfg;
+  cfg.module_count = 8;
+  cfg.fu_count = 8;
+
+  telemetry::Registry& reg = telemetry::Registry::instance();
+  const telemetry::Snapshot before = reg.snapshot();
+  const machine::RunResult r = machine::run_liw(c.liw, c.assignment, cfg);
+  const telemetry::Snapshot delta = reg.snapshot().since(before);
+
+  const auto as_i64 = [](std::uint64_t v) {
+    return static_cast<std::int64_t>(v);
+  };
+  EXPECT_EQ(delta.value("sim.runs"), 1);
+  EXPECT_EQ(delta.value("sim.cycles"), as_i64(r.cycles));
+  EXPECT_EQ(delta.value("sim.words"), as_i64(r.words_executed));
+  EXPECT_EQ(delta.value("sim.conflict_words"), as_i64(r.conflict_words));
+  EXPECT_EQ(delta.value("sim.stall_cycles"),
+            as_i64(r.cycles - r.words_executed));
+  EXPECT_EQ(delta.value("sim.memory_transfer_time"),
+            as_i64(r.memory_transfer_time));
+  EXPECT_EQ(delta.value("sim.scalar_fetches"), as_i64(r.scalar_fetches));
+  EXPECT_EQ(delta.value("sim.array_accesses"), as_i64(r.array_accesses));
+  EXPECT_EQ(delta.value("sim.transfers_executed"),
+            as_i64(r.transfers_executed));
+}
+
+}  // namespace
+}  // namespace parmem

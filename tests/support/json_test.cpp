@@ -1,0 +1,123 @@
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace parmem::support {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world_42"), "hello world_42");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter o;
+  o.begin_object();
+  o.end_object();
+  EXPECT_EQ(o.str(), "{}");
+
+  JsonWriter a;
+  a.begin_array();
+  a.end_array();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(JsonWriter, CompactObject) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.member("s", "x");
+  w.member("i", std::int64_t{-3});
+  w.member("b", true);
+  w.key("n");
+  w.null();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"x\",\"i\":-3,\"b\":true,\"n\":null}");
+}
+
+TEST(JsonWriter, IndentedNesting) {
+  JsonWriter w(2);
+  w.begin_object();
+  w.key("entries");
+  w.begin_array();
+  w.begin_object();
+  w.member("k", 1);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"entries\": [\n"
+            "    {\n"
+            "      \"k\": 1\n"
+            "    }\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(JsonWriter, ArrayCommaPlacement) {
+  JsonWriter w(0);
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.value(3);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.member("a\"b", "c\nd");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\\\"b\":\"c\\nd\"}");
+}
+
+TEST(JsonWriter, IntegerExtremes) {
+  JsonWriter w(0);
+  w.begin_array();
+  w.value(std::numeric_limits<std::int64_t>::min());
+  w.value(std::numeric_limits<std::uint64_t>::max());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[-9223372036854775808,18446744073709551615]");
+}
+
+TEST(JsonWriter, DoubleRoundTripAndFixed) {
+  JsonWriter w(0);
+  w.begin_array();
+  w.value(0.5);
+  w.value_fixed(1.0 / 3.0, 3);
+  w.value_fixed(2.0, 2);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[0.5,0.333,2.00]");
+}
+
+TEST(JsonWriter, FalseAndUnsigned) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.member("f", false);
+  w.member("u", 7u);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"f\":false,\"u\":7}");
+}
+
+}  // namespace
+}  // namespace parmem::support
