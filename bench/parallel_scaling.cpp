@@ -72,16 +72,19 @@ void bench_batch() {
                                     std::size_t{8}}) {
     analysis::PipelineOptions o = opts;
     o.parallel.threads = threads;
-    std::vector<analysis::Compiled> got;
+    std::vector<analysis::CompileResult> got;
     const double ms = best_of([&] { got = analysis::compile_batch(sources, o); });
 
     bool identical = threads == 0;  // legacy path: different algorithm
     if (threads >= 1) {
       identical = got.size() == reference.size();
       for (std::size_t i = 0; identical && i < got.size(); ++i) {
-        identical = got[i].assignment.placement ==
-                        reference[i].assignment.placement &&
-                    got[i].liw.to_string() == reference[i].liw.to_string();
+        identical =
+            got[i].ok() && reference[i].ok() &&
+            got[i].compiled->assignment.placement ==
+                reference[i].compiled->assignment.placement &&
+            got[i].compiled->liw.to_string() ==
+                reference[i].compiled->liw.to_string();
       }
       if (!identical) {
         std::printf("threads=%zu: RESULT MISMATCH — bench aborted\n", threads);

@@ -44,9 +44,7 @@ func main() {
 }
 )mc";
 
-}  // namespace
-
-int main() {
+int run_demo() {
   using namespace parmem;
 
   analysis::PipelineOptions opts;
@@ -136,11 +134,25 @@ int main() {
               batch.size(), par.parallel.threads,
               [&] {
                 for (const auto& b : batch) {
-                  if (!b.verify.ok()) return false;
+                  if (!b.ok() || !b.compiled->verify.ok()) return false;
                 }
                 return true;
               }()
                   ? "yes"
                   : "NO");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    return run_demo();
+  } catch (const parmem::support::UserError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 2;
+  }
 }

@@ -22,6 +22,15 @@
 //                                  own lanes
 //   --stats                        print the phase-time summary and counter
 //                                  tables after compiling
+//   --deadline-ms N                wall-clock compile budget; on exhaustion
+//                                  the assignment degrades down the tier
+//                                  ladder instead of running long
+//   --max-steps N                  cooperative step budget (deterministic
+//                                  degradation on the serial path)
+//
+// Exit codes: 0 compiled at full effort; 1 user error (bad source/flags);
+// 2 internal error; 3 compiled, but the budget forced a degraded tier
+// (details on stderr).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,13 +51,11 @@ int usage() {
                "usage: mcc FILE.mc | --workload NAME  [--strategy STORn] "
                "[--method bt|hs] [-k N] [--fu N] [--rename] [--dump-tac] "
                "[--dump-liw] [--run] [--threads N] [--trace FILE.json] "
-               "[--stats]\n");
-  return 2;
+               "[--stats] [--deadline-ms N] [--max-steps N]\n");
+  return 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_mcc(int argc, char** argv) {
   using namespace parmem;
 
   std::string source;
@@ -65,10 +72,18 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
-        std::exit(2);
+        throw support::UserError("missing value after " + arg);
       }
       return argv[++i];
+    };
+    const auto next_count = [&]() -> std::size_t {
+      const char* text = next();
+      try {
+        return static_cast<std::size_t>(std::stoull(text));
+      } catch (const std::exception&) {
+        throw support::UserError("invalid number for " + arg + ": '" +
+                                 text + "'");
+      }
     };
     if (arg == "--workload") {
       const auto& w = workloads::workload(next());
@@ -86,10 +101,9 @@ int main(int argc, char** argv) {
       else if (m == "hs") opts.assign.method = assign::DupMethod::kHittingSet;
       else return usage();
     } else if (arg == "-k") {
-      opts.assign.module_count = opts.sched.module_count =
-          static_cast<std::size_t>(std::stoul(next()));
+      opts.assign.module_count = opts.sched.module_count = next_count();
     } else if (arg == "--fu") {
-      opts.sched.fu_count = static_cast<std::size_t>(std::stoul(next()));
+      opts.sched.fu_count = next_count();
     } else if (arg == "--rename") {
       opts.rename = true;
     } else if (arg == "--dump-tac") {
@@ -103,11 +117,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--run") {
       run = true;
     } else if (arg == "--threads") {
-      opts.parallel.threads = static_cast<std::size_t>(std::stoul(next()));
+      opts.parallel.threads = next_count();
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--deadline-ms") {
+      opts.budget.deadline_ms = next_count();
+    } else if (arg == "--max-steps") {
+      opts.budget.max_steps = next_count();
     } else if (!arg.empty() && arg[0] != '-') {
       std::ifstream in(arg);
       if (!in) {
@@ -123,6 +141,7 @@ int main(int argc, char** argv) {
     }
   }
   if (source.empty()) return usage();
+  opts.source_name = source_name;
 
   const bool telemetry_requested = !trace_path.empty() || stats;
   if (telemetry_requested) {
@@ -134,8 +153,8 @@ int main(int argc, char** argv) {
     telemetry::TraceSession::global().start();
   }
 
-  try {
-    const auto c = analysis::compile_mc(source, opts);
+  const auto c = analysis::compile_mc(source, opts);
+  {
     if (dump_tac) std::printf("%s\n", c.tac.to_string().c_str());
     if (dump_liw) std::printf("%s\n", c.liw.to_string().c_str());
     if (emit_stream) {
@@ -206,9 +225,29 @@ int main(int argc, char** argv) {
                         .c_str());
       }
     }
-  } catch (const support::UserError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  }
+  if (c.degraded()) {
+    std::fprintf(stderr,
+                 "warning: compile budget exhausted — assignment degraded "
+                 "to tier '%s' (verified: %s)\n",
+                 assign::tier_name(c.assignment.tier),
+                 c.verify.ok() ? "conflict-free" : "residual conflicts");
+    return 3;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_mcc(argc, argv);
+  } catch (const parmem::support::UserError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // InternalError carries the PARMEM_CHECK file:line in its message.
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 2;
+  }
 }

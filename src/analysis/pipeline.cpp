@@ -1,25 +1,50 @@
 #include "analysis/pipeline.h"
 
+#include <new>
+
 #include "frontend/parser.h"
 #include "frontend/sema.h"
 #include "lower/lower.h"
 #include "support/diagnostics.h"
+#include "support/fault_injection.h"
 #include "support/thread_pool.h"
 #include "telemetry/telemetry.h"
 
 namespace parmem::analysis {
 
+const char* compile_status_name(CompileStatus s) {
+  switch (s) {
+    case CompileStatus::kOk: return "ok";
+    case CompileStatus::kUserError: return "user-error";
+    case CompileStatus::kInternalError: return "internal-error";
+    case CompileStatus::kCancelled: return "cancelled";
+  }
+  PARMEM_UNREACHABLE("bad compile status");
+}
+
 Compiled compile_mc(const std::string& source, const PipelineOptions& opts,
-                    support::ThreadPool* pool) {
+                    support::ThreadPool* pool,
+                    const support::CancelToken* cancel) {
   PARMEM_SPAN("pipeline.compile");
   const telemetry::Snapshot before =
       telemetry::Registry::instance().snapshot();
   Compiled c;
 
+  // One budget for the whole compile. An unlimited spec with no cancel hook
+  // passes nullptr downstream, so the legacy path runs exactly the seed
+  // instruction stream (fault-injection builds keep the live budget so
+  // injected timeouts have something to trip).
+  support::Budget budget(opts.budget, nullptr, cancel);
+  support::Budget* bp = budget.limited() ? &budget : nullptr;
+#if PARMEM_FAULT_INJECTION_ENABLED
+  bp = &budget;
+#endif
+
   frontend::Program ast;
   {
     PARMEM_SPAN("pipeline.parse");
-    ast = frontend::parse(source);
+    PARMEM_FAULT_POINT("pipeline.parse", bp);
+    ast = frontend::parse(source, opts.source_name);
   }
   {
     PARMEM_SPAN("pipeline.sema");
@@ -48,6 +73,7 @@ Compiled compile_mc(const std::string& source, const PipelineOptions& opts,
 
   {
     PARMEM_SPAN("pipeline.schedule");
+    PARMEM_FAULT_POINT("pipeline.schedule", bp);
     c.liw = sched::schedule(c.tac, opts.sched, &c.sched_stats);
   }
   {
@@ -57,12 +83,17 @@ Compiled compile_mc(const std::string& source, const PipelineOptions& opts,
   }
   {
     PARMEM_SPAN("pipeline.assign");
+    PARMEM_FAULT_POINT("pipeline.assign", bp);
     assign::AssignOptions assign_opts = opts.assign;
     assign_opts.pool = pool;
+    assign_opts.budget = bp;
     c.assignment = assign::assign_modules(c.stream, assign_opts);
   }
   {
+    // Every result — degraded tiers included — passes the same structural
+    // verification; a budget trip can cost quality, never soundness.
     PARMEM_SPAN("pipeline.verify");
+    PARMEM_FAULT_POINT("pipeline.verify", bp);
     c.verify = assign::verify_assignment(c.stream, c.assignment);
   }
   {
@@ -91,24 +122,49 @@ Compiled compile_mc(const std::string& source, const PipelineOptions& opts) {
   return compile_mc(source, opts, &pool);
 }
 
-std::vector<Compiled> compile_batch(const std::vector<std::string>& sources,
-                                    const PipelineOptions& opts) {
-  std::vector<Compiled> out(sources.size());
+std::vector<CompileResult> compile_batch(
+    const std::vector<std::string>& sources, const PipelineOptions& opts,
+    const support::CancelToken* cancel) {
+  std::vector<CompileResult> out(sources.size());
+  // One job: compile, trapping failures into the per-source result so a
+  // poisoned input cannot take down its batch neighbours. A job that never
+  // runs keeps the default kCancelled status.
+  const auto run_one = [&](std::size_t i, support::ThreadPool* pool) {
+    if (cancel != nullptr && cancel->cancelled()) return;
+    CompileResult& r = out[i];
+    try {
+      r.compiled.emplace(compile_mc(sources[i], opts, pool, cancel));
+      r.status = CompileStatus::kOk;
+    } catch (const support::UserError& e) {
+      r.status = CompileStatus::kUserError;
+      r.diagnostic = e.what();
+    } catch (const std::bad_alloc&) {
+      r.status = CompileStatus::kInternalError;
+      r.diagnostic = "out of memory";
+      r.compiled.reset();  // never let a partial Compiled escape
+    } catch (const std::exception& e) {
+      r.status = CompileStatus::kInternalError;
+      r.diagnostic = e.what();
+      r.compiled.reset();
+    }
+  };
   const std::size_t threads = opts.parallel.effective_threads();
   if (threads == 0) {
     for (std::size_t i = 0; i < sources.size(); ++i) {
-      out[i] = compile_mc(sources[i], opts, nullptr);
+      if (cancel != nullptr && cancel->cancelled()) break;
+      run_one(i, nullptr);
     }
     return out;
   }
   support::ThreadPool pool(threads - 1);
-  pool.parallel_for(sources.size(), [&](std::size_t i) {
-    // Jobs on workers run their inner atom fan-out inline (nested
-    // parallel_for); jobs picked up by the calling thread may re-enter the
-    // pool. Either way each job is a pure function of its source, so the
-    // batch result is schedule-independent.
-    out[i] = compile_mc(sources[i], opts, &pool);
-  });
+  // Jobs on workers run their inner atom fan-out inline (nested
+  // parallel_for); jobs picked up by the calling thread may re-enter the
+  // pool. Either way each job is a pure function of its source, so the
+  // batch result is schedule-independent. The cancel token makes
+  // parallel_for skip un-started bodies while still joining every
+  // scheduled task, so in-flight jobs drain cleanly before we return.
+  pool.parallel_for(
+      sources.size(), [&](std::size_t i) { run_one(i, &pool); }, cancel);
   return out;
 }
 

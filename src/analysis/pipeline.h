@@ -9,11 +9,13 @@
 // part.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "assign/assigner.h"
 #include "assign/verify.h"
+#include "support/budget.h"
 #include "frontend/unroll.h"
 #include "ir/access.h"
 #include "ir/liw.h"
@@ -61,6 +63,16 @@ struct PipelineOptions {
   /// atom-task mode and produces byte-identical results (threads == 1 runs
   /// the same tasks inline — the "serial" side of the differential tests).
   machine::ParallelConfig parallel;
+  /// Compile budget (wall-clock deadline and/or step count). Default
+  /// (both zero) is unlimited and byte-identical to the unbudgeted legacy
+  /// path. On exhaustion the assignment degrades down the AssignTier
+  /// ladder (assigner.h) instead of hanging or failing; the compile still
+  /// completes and Compiled::degraded() reports the loss of quality.
+  /// Step-count-only budgets degrade deterministically on the serial path;
+  /// wall-clock deadlines trip at machine-dependent points by nature.
+  support::BudgetSpec budget;
+  /// Name used in diagnostics for this source ("<source>" when empty).
+  std::string source_name;
 };
 
 struct Compiled {
@@ -82,25 +94,60 @@ struct Compiled {
   /// unless other compiles run concurrently (the registry is process-wide —
   /// under compile_batch, snapshot around the whole batch instead).
   telemetry::Snapshot telemetry;
+
+  /// True iff the budget forced the assignment below the full-effort tier
+  /// (the result is valid — verified — but of reduced quality).
+  bool degraded() const {
+    return assignment.tier > assign::AssignTier::kHeuristic;
+  }
+};
+
+/// Per-source outcome of compile_batch: a fault-isolated job result. A
+/// failed or skipped job never poisons its neighbours.
+enum class CompileStatus : std::uint8_t {
+  kOk = 0,             // compiled holds a verified program
+  kUserError = 1,      // malformed source / configuration (UserError)
+  kInternalError = 2,  // invariant failure or resource exhaustion in-library
+  kCancelled = 3,      // job never ran (batch cancelled before it started)
+};
+const char* compile_status_name(CompileStatus s);
+
+struct CompileResult {
+  /// Defaults to kCancelled so jobs skipped by a cancelled pool read
+  /// correctly without extra bookkeeping; every executed job overwrites.
+  CompileStatus status = CompileStatus::kCancelled;
+  std::optional<Compiled> compiled;  // engaged iff status == kOk
+  std::string diagnostic;            // one-line message otherwise
+  bool ok() const { return status == CompileStatus::kOk; }
 };
 
 /// Compiles MC source through the whole pipeline. Honours opts.parallel by
 /// creating a pool for the duration of the call when threads > 1.
+/// Throws UserError on malformed input, InternalError on library bugs.
 Compiled compile_mc(const std::string& source, const PipelineOptions& opts);
 
 /// As above but on an externally owned pool (null pool == the legacy serial
 /// path, regardless of opts.parallel). compile_batch uses this to share one
 /// pool across jobs; nested fan-out inside a job runs inline on its worker.
+/// `cancel` (optional) trips this compile's budget when cancelled — the
+/// assignment degrades to the cheapest tier and the compile returns early
+/// work rather than blocking.
 Compiled compile_mc(const std::string& source, const PipelineOptions& opts,
-                    support::ThreadPool* pool);
+                    support::ThreadPool* pool,
+                    const support::CancelToken* cancel = nullptr);
 
 /// Compiles independent sources, farming the jobs across a pool sized by
 /// opts.parallel. Results arrive in input order and job i depends only on
 /// sources[i] and opts, so the batch is byte-identical for every thread
-/// count; if jobs throw, the smallest failing index's exception is
-/// rethrown.
-std::vector<Compiled> compile_batch(const std::vector<std::string>& sources,
-                                    const PipelineOptions& opts);
+/// count. Jobs are fault-isolated: a throwing job yields a kUserError /
+/// kInternalError CompileResult with a diagnostic instead of poisoning the
+/// batch — compile_batch itself does not throw on per-source failures.
+/// Cancelling `cancel` stops new jobs from starting (they report
+/// kCancelled); jobs already in flight drain cleanly before the call
+/// returns — no detached worker ever outlives the batch.
+std::vector<CompileResult> compile_batch(
+    const std::vector<std::string>& sources, const PipelineOptions& opts,
+    const support::CancelToken* cancel = nullptr);
 
 /// Convenience: run the compiled program and its sequential reference,
 /// checking that their outputs agree (throws InternalError on divergence).

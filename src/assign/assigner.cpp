@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <iterator>
+#include <optional>
 
 #include <bit>
 
 #include "assign/backtrack.h"
 #include "assign/conflict_graph.h"
+#include "assign/exact.h"
 #include "assign/hitting_set_approach.h"
 #include "assign/placement_state.h"
 #include "assign/workspace.h"
+#include "support/budget.h"
 #include "support/diagnostics.h"
+#include "support/fault_injection.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
 #include "telemetry/telemetry.h"
@@ -34,7 +38,23 @@ const char* dup_method_name(DupMethod m) {
   PARMEM_UNREACHABLE("bad duplication method");
 }
 
+const char* tier_name(AssignTier t) {
+  switch (t) {
+    case AssignTier::kExact: return "exact";
+    case AssignTier::kHeuristic: return "heuristic";
+    case AssignTier::kHittingSet: return "hitting-set";
+    case AssignTier::kBacktrackCap: return "backtrack-cap";
+    case AssignTier::kResidual: return "residual";
+  }
+  PARMEM_UNREACHABLE("bad assign tier");
+}
+
 namespace {
+
+/// Hard node cap for the kBacktrackCap fix-up: enough to resolve typical
+/// instructions (k! for k <= 7), small enough that a whole-stream sweep
+/// stays linear after the budget is gone.
+constexpr std::uint64_t kFixupNodeCap = 4096;
 
 struct PassContext {
   const ir::AccessStream* stream;
@@ -46,28 +66,36 @@ struct PassContext {
   support::SplitMix64* rng;
   AssignStats* stats;
   AssignWorkspace* ws;  // serial-path scratch, reused across passes
+  AssignTier* tier;     // weakest ladder tier used so far (result-level)
+  bool* exhausted;      // result-level budget_exhausted flag
 };
 
+void degrade(PassContext& ctx, AssignTier t) {
+  *ctx.tier = std::max(*ctx.tier, t);
+}
+
 /// The configured duplication method over one instruction set, mutating
-/// `st` and drawing from `rng`.
-void run_duplication(PassContext& ctx,
+/// `st` and drawing from `rng`. Returns true iff the budget tripped and the
+/// method stopped early (caller runs the capped fix-up).
+bool run_duplication(PassContext& ctx,
                      const std::vector<std::vector<ir::ValueId>>& insts,
                      PlacementState& st, support::SplitMix64& rng,
                      AssignWorkspace* ws) {
   switch (ctx.opts->method) {
     case DupMethod::kBacktracking: {
-      backtrack_duplicate(st, insts, *ctx.removed, ctx.stream->duplicatable,
-                          rng, ws);
-      break;
+      const auto out = backtrack_duplicate(st, insts, *ctx.removed,
+                                           ctx.stream->duplicatable, rng, ws);
+      return out.budget_exhausted;
     }
     case DupMethod::kHittingSet: {
       const auto out = hitting_set_duplicate(st, insts, *ctx.removed,
                                              ctx.stream->duplicatable, rng,
                                              ws);
       ctx.stats->duplication_rounds += out.rounds;
-      break;
+      return out.budget_exhausted;
     }
   }
+  PARMEM_UNREACHABLE("bad duplication method");
 }
 
 /// Runs the duplication phase per atom on the pool. Every instruction's
@@ -79,7 +107,7 @@ void run_duplication(PassContext& ctx,
 /// own seeded RNG, and can only *add* copies — added copies never invalidate
 /// an SDR, so resolutions from different atoms compose — which makes the
 /// stable-order merge of the per-atom deltas schedule-independent.
-void duplicate_atom_parallel(
+bool duplicate_atom_parallel(
     PassContext& ctx, const std::vector<std::vector<ir::ValueId>>& insts,
     const ConflictGraph& cg,
     const std::vector<std::vector<graph::Vertex>>& atoms) {
@@ -114,6 +142,7 @@ void duplicate_atom_parallel(
   struct Delta {
     std::vector<std::pair<ir::ValueId, ModuleSet>> added;
     std::size_t rounds = 0;
+    bool budget_exhausted = false;
   };
   std::vector<Delta> deltas(atoms.size());
   // One pass-RNG draw seeds every atom stream, keeping the pass stream's
@@ -123,13 +152,16 @@ void duplicate_atom_parallel(
     if (per_atom[i].empty()) return;
     PARMEM_SPAN("assign.dup_atom");
     thread_local AssignWorkspace tls;  // per-worker scratch
+    tls.budget = opts.budget;  // Budget is thread-safe; tasks share it
     PlacementState local = *ctx.st;
     support::SplitMix64 rng(base_seed + i);
     std::size_t rounds = 0;
+    bool exhausted = false;
     switch (opts.method) {
       case DupMethod::kBacktracking: {
-        backtrack_duplicate(local, per_atom[i], *ctx.removed,
-                            stream.duplicatable, rng, &tls);
+        const auto out = backtrack_duplicate(local, per_atom[i], *ctx.removed,
+                                             stream.duplicatable, rng, &tls);
+        exhausted = out.budget_exhausted;
         break;
       }
       case DupMethod::kHittingSet: {
@@ -138,26 +170,31 @@ void duplicate_atom_parallel(
                                                stream.duplicatable, rng,
                                                &tls);
         rounds = out.rounds;
+        exhausted = out.budget_exhausted;
         break;
       }
     }
     Delta& d = deltas[i];
     d.rounds = rounds;
+    d.budget_exhausted = exhausted;
     for (ir::ValueId v = 0; v < stream.value_count; ++v) {
       const ModuleSet extra = local.placement(v) & ~ctx.st->placement(v);
       if (extra != 0) d.added.emplace_back(v, extra);
     }
   });
 
+  bool exhausted = false;
   for (const Delta& d : deltas) {
     for (const auto& [v, extra] : d.added) {
       for (const std::uint32_t m : modules_of(extra)) ctx.st->add_copy(v, m);
     }
     ctx.stats->duplication_rounds += d.rounds;
+    exhausted = exhausted || d.budget_exhausted;
   }
   if (!residual.empty()) {
-    run_duplication(ctx, residual, *ctx.st, *ctx.rng, ctx.ws);
+    exhausted |= run_duplication(ctx, residual, *ctx.st, *ctx.rng, ctx.ws);
   }
+  return exhausted;
 }
 
 /// One assignment pass over a set of instructions (operand lists already
@@ -168,6 +205,7 @@ void run_pass(PassContext& ctx,
   if (insts.empty()) return;
   const ir::AccessStream& stream = *ctx.stream;
   const AssignOptions& opts = *ctx.opts;
+  PARMEM_FAULT_POINT("assign.pass", opts.budget);
 
   const ConflictGraph cg = [&] {
     PARMEM_SPAN("assign.conflict_graph");
@@ -221,7 +259,7 @@ void run_pass(PassContext& ctx,
   if (!any_skip) {
     PARMEM_SPAN("assign.color");
     cr = color_conflict_graph(cg, {opts.module_count, opts.use_atoms,
-                                   opts.pick, opts.pool},
+                                   opts.pick, opts.pool, opts.budget},
                               precolored, never_remove, ctx.module_load,
                               ctx.ws);
   } else {
@@ -251,8 +289,10 @@ void run_pass(PassContext& ctx,
       pre2[v] = precolored[static_cast<std::size_t>(vx)];
     }
     const ColorResult cr2 = color_conflict_graph(
-        cg2, {opts.module_count, opts.use_atoms, opts.pick, opts.pool}, pre2,
-        nr2, ctx.module_load, ctx.ws);
+        cg2, {opts.module_count, opts.use_atoms, opts.pick, opts.pool,
+              opts.budget},
+        pre2, nr2, ctx.module_load, ctx.ws);
+    cr.budget_exhausted = cr2.budget_exhausted;
     // Map back onto the full-graph indexing.
     cr.module.assign(n, kUnassignedModule);
     for (graph::Vertex v = 0; v < n2; ++v) {
@@ -293,21 +333,54 @@ void run_pass(PassContext& ctx,
   // the instructions partition along the coloring's atoms (the skip branch
   // above leaves cr.atoms empty, so later STOR2/3 passes over previously
   // reduced graphs keep the serial path).
+  PARMEM_FAULT_POINT("assign.duplicate", opts.budget);
+  bool dup_exhausted = false;
   {
     PARMEM_SPAN("assign.duplicate");
     if (opts.pool != nullptr && cr.atoms.size() > 1) {
-      duplicate_atom_parallel(ctx, insts, cg, cr.atoms);
+      dup_exhausted = duplicate_atom_parallel(ctx, insts, cg, cr.atoms);
     } else {
-      run_duplication(ctx, insts, *ctx.st, *ctx.rng, ctx.ws);
+      dup_exhausted = run_duplication(ctx, insts, *ctx.st, *ctx.rng, ctx.ws);
     }
   }
 
-  // Safety net: every value seen in this pass must end with >= 1 copy.
+  // Degradation ladder, below the full-effort tier. A tripped coloring was
+  // finished greedily (kHittingSet quality at best); a tripped duplication
+  // leaves conflicting instructions for the capped Fig. 6 fix-up
+  // (kBacktrackCap) — hard node cap, no budget consultation, so the sweep
+  // terminates; anything still conflicting is accepted as residual.
+  const bool pass_exhausted = cr.budget_exhausted || dup_exhausted;
+  if (pass_exhausted) {
+    *ctx.exhausted = true;
+    degrade(ctx, AssignTier::kHittingSet);
+  }
+  if (dup_exhausted) {
+    bool capped = false;
+    bool residual = false;
+    for (const auto& ops : insts) {
+      if (ctx.st->combination_conflict_free(ops)) continue;
+      capped = true;
+      const auto added = resolve_instruction(
+          *ctx.st, ops, stream.duplicatable, *ctx.rng,
+          /*budget=*/nullptr, kFixupNodeCap);
+      if (!added.has_value()) residual = true;
+    }
+    if (capped) degrade(ctx, AssignTier::kBacktrackCap);
+    if (residual) degrade(ctx, AssignTier::kResidual);
+  }
+
+  // Safety net: every value seen in this pass must end with >= 1 copy. On
+  // the degraded path copyless values are parked in module 0 (deterministic
+  // and cheap); the unbudgeted path keeps the legacy seeded draw.
   for (const auto& ops : insts) {
     for (const ir::ValueId v : ops) {
       if (ctx.st->copies(v) == 0) {
-        ctx.st->add_copy(
-            v, static_cast<std::uint32_t>(ctx.rng->below(opts.module_count)));
+        if (pass_exhausted) {
+          ctx.st->add_copy(v, 0);
+        } else {
+          ctx.st->add_copy(v, static_cast<std::uint32_t>(
+                                  ctx.rng->below(opts.module_count)));
+        }
         (*ctx.decided)[v] = true;
       }
     }
@@ -346,16 +419,66 @@ AssignResult assign_modules(const ir::AccessStream& stream,
   std::vector<std::size_t> module_load(opts.module_count, 0);
   support::SplitMix64 rng(opts.seed);
   AssignWorkspace workspace;  // shared by every serial-path pass below
+  workspace.budget = opts.budget;
 
   AssignResult result;
   result.module_count = opts.module_count;
-  PassContext ctx{&stream, &opts,    &st,  &decided,
-                  &removed, &module_load, &rng, &result.stats, &workspace};
+  PassContext ctx{&stream,       &opts, &st,           &decided,
+                  &removed,      &module_load, &rng,   &result.stats,
+                  &workspace,    &result.tier, &result.budget_exhausted};
 
   std::vector<std::uint32_t> all_tuples(stream.tuples.size());
   for (std::uint32_t i = 0; i < all_tuples.size(); ++i) all_tuples[i] = i;
 
-  switch (opts.strategy) {
+  // Optional exact tier: try the branch-and-bound oracle on a half-share of
+  // the remaining budget. On success the whole heuristic pipeline is
+  // skipped; on failure (too large, node cap, budget trip) nothing has been
+  // committed and the ladder continues at kHeuristic with the other half.
+  bool exact_done = false;
+  if (opts.try_exact && opts.module_count <= 16) {
+    std::size_t used_values = 0;
+    {
+      std::vector<bool> used(stream.value_count, false);
+      for (const auto& t : stream.tuples) {
+        for (const ir::ValueId v : t.operands) {
+          if (!used[v]) {
+            used[v] = true;
+            ++used_values;
+          }
+        }
+      }
+    }
+    bool mutable_used = false;  // never duplicate mutables: heuristic only
+    for (ir::ValueId v = 0; v < stream.value_count; ++v) {
+      if (!stream.duplicatable[v]) mutable_used = true;
+    }
+    if (used_values <= opts.exact_value_limit && !mutable_used) {
+      PARMEM_SPAN("assign.exact");
+      std::optional<support::Budget> sub;
+      support::Budget* eb = opts.budget;
+      if (opts.budget != nullptr) {
+        sub.emplace(opts.budget->fraction_of_remaining(1, 2), opts.budget);
+        eb = &*sub;
+      }
+      const std::uint64_t cap =
+          opts.exact_node_budget != 0 ? opts.exact_node_budget : 20'000'000;
+      const auto ex = exact_min_copies(stream, opts.module_count, cap, eb);
+      if (ex.has_value()) {
+        for (ir::ValueId v = 0; v < stream.value_count; ++v) {
+          for (const std::uint32_t m : modules_of(ex->placement[v])) {
+            st.add_copy(v, m);
+          }
+        }
+        result.tier = AssignTier::kExact;
+        exact_done = true;
+      }
+      if (eb != nullptr && eb->exhausted()) result.budget_exhausted = true;
+    }
+  }
+
+  if (exact_done) {
+    // fall through to the common statistics below
+  } else switch (opts.strategy) {
     case Strategy::kStor1: {
       run_pass(ctx, materialize(stream, all_tuples, nullptr));
       break;
@@ -466,6 +589,11 @@ AssignResult assign_modules(const ir::AccessStream& stream,
     PARMEM_GAUGE_SET("assign.colors_used", std::popcount(any));
   }
 #endif
+  if (result.budget_exhausted) {
+    PARMEM_COUNTER_ADD("assign.budget_exhausted", 1);
+  }
+  PARMEM_GAUGE_SET("assign.fallback_tier",
+                   static_cast<std::int64_t>(result.tier));
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "ir/access.h"
 
 namespace parmem::support {
+class Budget;
 class ThreadPool;
 }
 
@@ -29,8 +30,32 @@ namespace parmem::assign {
 enum class Strategy : std::uint8_t { kStor1, kStor2, kStor3 };
 enum class DupMethod : std::uint8_t { kBacktracking, kHittingSet };
 
+/// Graceful-degradation ladder (strongest to cheapest). The assigner starts
+/// at kExact (only when AssignOptions::try_exact is set) or kHeuristic and
+/// drops tiers as the Budget trips; AssignResult::tier records the weakest
+/// tier that produced any part of the result.
+///
+///   kExact        optional exact minimum-copies solver (oracle quality);
+///   kHeuristic    Fig. 4 coloring + the configured duplication method run
+///                 to completion — the normal full-effort path;
+///   kHittingSet   coloring completed greedily and/or duplication reduced
+///                 to the Fig. 7 pair step (two copies per V_unassigned
+///                 value), skipping the iterative hitting-set rounds;
+///   kBacktrackCap per-instruction Fig. 6 backtracking with a hard node
+///                 cap as the only conflict-resolution effort;
+///   kResidual     statically predictable conflicts accepted; any value
+///                 still without a copy is parked in module 0.
+enum class AssignTier : std::uint8_t {
+  kExact = 0,
+  kHeuristic = 1,
+  kHittingSet = 2,
+  kBacktrackCap = 3,
+  kResidual = 4,
+};
+
 const char* strategy_name(Strategy s);
 const char* dup_method_name(DupMethod m);
+const char* tier_name(AssignTier t);
 
 struct AssignOptions {
   std::size_t module_count = 8;
@@ -58,6 +83,22 @@ struct AssignOptions {
   /// the serial execution of the same task graph). Null (default) keeps the
   /// legacy fully sequential path.
   support::ThreadPool* pool = nullptr;
+  /// Resource budget (deadline / step count), cooperatively polled by the
+  /// coloring sweep and all three duplication search kernels. Null
+  /// (default) is unlimited and executes exactly the legacy instruction
+  /// stream. On exhaustion the assigner degrades down the AssignTier
+  /// ladder instead of failing; the result stays structurally valid (every
+  /// used value keeps >= 1 copy, mutables are never duplicated).
+  support::Budget* budget = nullptr;
+  /// Attempt the exact minimum-copies solver first (AssignTier::kExact).
+  /// Off by default — it is exponential and only viable for tiny streams;
+  /// when on, the attempt is limited to exact_value_limit used values and
+  /// to a half-share of the remaining budget so a failed attempt still
+  /// leaves room for the heuristic tiers.
+  bool try_exact = false;
+  std::size_t exact_value_limit = 16;
+  /// Search-node cap for the exact attempt (0 = the solver's default).
+  std::uint64_t exact_node_budget = 0;
 };
 
 struct AssignStats {
@@ -78,6 +119,12 @@ struct AssignResult {
   /// Per value: was it removed during coloring (member of V_unassigned)?
   std::vector<bool> removed;
   AssignStats stats;
+  /// Weakest ladder tier that produced any part of this assignment
+  /// (kHeuristic on the normal full-effort path).
+  AssignTier tier = AssignTier::kHeuristic;
+  /// True iff the budget tripped anywhere (including a failed exact-tier
+  /// attempt that then fell back without degrading the final quality).
+  bool budget_exhausted = false;
 };
 
 /// Runs the full assignment pipeline on an access stream.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "support/budget.h"
 #include "support/diagnostics.h"
+#include "support/fault_injection.h"
 
 namespace parmem::assign {
 namespace {
@@ -10,6 +12,12 @@ namespace {
 /// Recursive enumeration of module choices for the flexible operands.
 /// `choice[i]` is the module flexible operand i reads from; cost counts
 /// choices that are new copies. All minimum-cost solutions are collected.
+///
+/// The enumeration is the one genuinely exponential kernel on the normal
+/// assignment path (worst case k!/(k-f)! orderings for f flexible
+/// operands), so it meters the budget per node and honours a hard local
+/// node cap; when stopped early the solutions collected so far remain
+/// usable — they are valid, just not proven minimal.
 struct Enumerator {
   const PlacementState& st;
   const std::vector<ir::ValueId>& flex_ops;       // flexible operand values
@@ -23,7 +31,22 @@ struct Enumerator {
   std::size_t best_cost = static_cast<std::size_t>(-1);
   std::vector<std::vector<std::uint32_t>> best_solutions;
 
+  support::Budget* budget = nullptr;
+  std::uint64_t node_cap = 0;  // 0 = unbounded
+  std::uint64_t nodes = 0;
+  bool stopped = false;  // budget / cap tripped; unwind without recursing
+
   void run(std::size_t idx) {
+    if (stopped) return;
+    ++nodes;
+    if (node_cap != 0 && nodes > node_cap) {
+      stopped = true;
+      return;
+    }
+    if (budget != nullptr && (nodes & 63) == 0 && !budget->charge(64)) {
+      stopped = true;
+      return;
+    }
     if (cost > best_cost) return;  // bound
     if (idx == flex_ops.size()) {
       // Fixed operands must find distinct representatives among the
@@ -67,8 +90,10 @@ struct Enumerator {
 
 std::optional<std::size_t> resolve_instruction(
     PlacementState& st, const std::vector<ir::ValueId>& ops,
-    const std::vector<bool>& flexible, support::SplitMix64& rng) {
+    const std::vector<bool>& flexible, support::SplitMix64& rng,
+    support::Budget* budget, std::uint64_t node_cap) {
   if (st.combination_conflict_free(ops)) return 0;
+  PARMEM_FAULT_POINT("assign.backtrack", budget);
 
   std::vector<ir::ValueId> flex_ops;
   std::vector<ir::ValueId> fixed_ops;
@@ -83,6 +108,8 @@ std::optional<std::size_t> resolve_instruction(
 
   Enumerator e{st, flex_ops, fixed_ops, st.module_count(), {}, 0, 0,
                static_cast<std::size_t>(-1), {}};
+  e.budget = budget;
+  e.node_cap = node_cap;
   e.run(0);
   if (e.best_solutions.empty()) return std::nullopt;
 
@@ -124,10 +151,21 @@ BacktrackOutcome backtrack_duplicate(
   }
 
   BacktrackOutcome out;
+  support::Budget* const budget = w.budget;
+  const auto out_of_budget = [&] {
+    if (budget == nullptr || budget->ok()) return false;
+    out.budget_exhausted = true;
+    return true;
+  };
   for (const std::size_t i : groups[0]) {
+    if (out_of_budget()) {
+      out.unresolved.push_back(i);
+      continue;
+    }
     // No V_unassigned member to duplicate: try the wider duplicable mask
     // (arises when earlier STOR2/3 stages fixed all the operands).
-    const auto added = resolve_instruction(st, insts[i], duplicatable, rng);
+    const auto added =
+        resolve_instruction(st, insts[i], duplicatable, rng, budget);
     if (added.has_value()) {
       out.copies_added += *added;
     } else {
@@ -136,9 +174,14 @@ BacktrackOutcome backtrack_duplicate(
   }
   for (std::size_t g = 1; g <= k; ++g) {
     for (const std::size_t i : groups[g]) {
-      auto added = resolve_instruction(st, insts[i], in_unassigned, rng);
+      if (out_of_budget()) {
+        out.unresolved.push_back(i);
+        continue;
+      }
+      auto added =
+          resolve_instruction(st, insts[i], in_unassigned, rng, budget);
       if (!added.has_value()) {
-        added = resolve_instruction(st, insts[i], duplicatable, rng);
+        added = resolve_instruction(st, insts[i], duplicatable, rng, budget);
       }
       if (added.has_value()) {
         out.copies_added += *added;

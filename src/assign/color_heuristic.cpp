@@ -7,7 +7,9 @@
 #include "assign/module_set.h"
 
 #include "graph/atoms.h"
+#include "support/budget.h"
 #include "support/diagnostics.h"
+#include "support/fault_injection.h"
 #include "support/thread_pool.h"
 #include "telemetry/telemetry.h"
 
@@ -44,6 +46,7 @@ void color_atom(const ConflictGraph& cg, const std::vector<Vertex>& atom,
                 std::vector<std::size_t>& load, AssignWorkspace& ws,
                 ColorResult& result) {
   PARMEM_SPAN("assign.color_atom");
+  PARMEM_FAULT_POINT("assign.color_atom", opts.budget);
   const std::size_t k = opts.module_count;
   const graph::Graph& g = cg.graph();
 
@@ -108,8 +111,46 @@ void color_atom(const ConflictGraph& cg, const std::vector<Vertex>& atom,
     push({ws.w_assigned[v], k_of(v), ws.s_sum[v], v});
   }
 
+  support::Budget* const budget = opts.budget;
   std::size_t remaining = ws.rest.size();
   while (remaining > 0) {
+    if (budget != nullptr && !budget->charge(1)) {
+      // Budget tripped mid-atom: finish the remaining vertices greedily in
+      // work-list order — duplicatable ones join V_unassigned (the
+      // degraded duplication tiers give them copies), never-remove ones
+      // are forced into their cheapest module. Linear, heap-free, and
+      // every vertex still ends decided.
+      result.budget_exhausted = true;
+      for (const Vertex v : ws.rest) {
+        if (decided[v]) continue;
+        decided[v] = true;
+        --remaining;
+        if (never_remove.empty() || !never_remove[v]) {
+          result.unassigned.push_back(v);
+          continue;
+        }
+        std::array<std::uint64_t, kMaxModules> cost{};
+        const auto nbrs = g.neighbors(v);
+        const auto wts = cg.conf_weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (module[nbrs[i]] >= 0) {
+            cost[static_cast<std::uint32_t>(module[nbrs[i]])] +=
+                std::max<std::uint32_t>(wts[i], 1u);
+          }
+        }
+        std::uint32_t best = 0;
+        for (std::uint32_t m = 1; m < k; ++m) {
+          if (cost[m] < cost[best] ||
+              (cost[m] == cost[best] && load[m] < load[best])) {
+            best = m;
+          }
+        }
+        module[v] = static_cast<std::int32_t>(best);
+        ++load[best];
+        result.forced.push_back(v);
+      }
+      break;
+    }
     PARMEM_CHECK(!heap.empty(), "heap exhausted with vertices remaining");
     std::pop_heap(heap.begin(), heap.end(), less_urgent);
     const HeapEntry e = heap.back();
@@ -223,6 +264,7 @@ void color_atoms_parallel(const ConflictGraph& cg,
     std::vector<Vertex> unassigned;  // in removal order
     std::vector<Vertex> forced;
     std::vector<std::size_t> load_delta;
+    bool budget_exhausted = false;
   };
   std::vector<Delta> deltas(atoms.size());
   opts.pool->parallel_for(atoms.size(), [&](std::size_t i) {
@@ -244,6 +286,7 @@ void color_atoms_parallel(const ConflictGraph& cg,
     }
     d.unassigned = std::move(local.unassigned);
     d.forced = std::move(local.forced);
+    d.budget_exhausted = local.budget_exhausted;
     d.load_delta.resize(load.size());
     for (std::size_t m = 0; m < load.size(); ++m) {
       d.load_delta[m] = tls.load_snapshot[m] - load[m];
@@ -260,6 +303,7 @@ void color_atoms_parallel(const ConflictGraph& cg,
       result.unassigned.push_back(v);
     }
     for (const Vertex v : d.forced) result.forced.push_back(v);
+    result.budget_exhausted = result.budget_exhausted || d.budget_exhausted;
     for (std::size_t m = 0; m < load.size(); ++m) load[m] += d.load_delta[m];
   }
 }

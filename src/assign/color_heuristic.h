@@ -26,6 +26,7 @@
 #include "assign/workspace.h"
 
 namespace parmem::support {
+class Budget;
 class ThreadPool;
 }
 
@@ -54,6 +55,12 @@ struct ColorOptions {
   /// every worker count — a pool with zero workers is the serial execution
   /// of the same decomposition.
   support::ThreadPool* pool = nullptr;
+  /// Cooperative budget. Null = unlimited (the exact legacy sweep). On
+  /// exhaustion mid-atom the urgency-heap sweep is abandoned and the
+  /// remaining undecided vertices are finished greedily: duplicatable ones
+  /// go to V_unassigned, never-remove ones are forced into their cheapest
+  /// module — linear work, and the duplication tiers below clean up.
+  support::Budget* budget = nullptr;
 };
 
 inline constexpr std::int32_t kUnassignedModule = -1;
@@ -70,6 +77,9 @@ struct ColorResult {
   /// as vertex lists; empty when atoms were disabled. The assigner's
   /// atom-parallel duplication partitions instructions along these.
   std::vector<std::vector<graph::Vertex>> atoms;
+  /// True iff the budget tripped during coloring and some vertices were
+  /// finished by the greedy completion instead of the urgency heap.
+  bool budget_exhausted = false;
 };
 
 /// Runs the heuristic.

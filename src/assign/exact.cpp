@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "graph/coloring.h"
+#include "support/budget.h"
 #include "support/diagnostics.h"
+#include "support/fault_injection.h"
 #include "support/matching.h"
 
 namespace parmem::assign {
@@ -16,8 +18,8 @@ namespace {
 class MinCopiesSearch {
  public:
   MinCopiesSearch(const ir::AccessStream& stream, std::size_t k,
-                  std::uint64_t budget)
-      : stream_(stream), k_(k), budget_(budget) {
+                  std::uint64_t budget, support::Budget* wall_budget)
+      : stream_(stream), k_(k), budget_(budget), wall_budget_(wall_budget) {
     std::vector<bool> seen(stream.value_count, false);
     for (const auto& t : stream.tuples) {
       for (const ir::ValueId v : t.operands) {
@@ -88,6 +90,11 @@ class MinCopiesSearch {
       exhausted_ = true;
       return false;
     }
+    if (wall_budget_ != nullptr && (nodes_ & 1023) == 0 &&
+        !wall_budget_->charge(1024)) {
+      exhausted_ = true;
+      return false;
+    }
     if (idx == values_.size()) {
       bound_used_ = used;
       return true;
@@ -121,6 +128,7 @@ class MinCopiesSearch {
   const ir::AccessStream& stream_;
   std::size_t k_;
   std::uint64_t budget_;
+  support::Budget* wall_budget_ = nullptr;
   std::uint64_t nodes_ = 0;
   bool exhausted_ = false;
   std::vector<ir::ValueId> values_;
@@ -160,13 +168,16 @@ bool removal_rec(const graph::Graph& g, std::size_t k, std::size_t budget,
 
 std::optional<ExactPlacement> exact_min_copies(const ir::AccessStream& stream,
                                                std::size_t module_count,
-                                               std::uint64_t node_budget) {
+                                               std::uint64_t node_budget,
+                                               support::Budget* budget) {
   PARMEM_CHECK(module_count >= 1 && module_count <= 16,
                "exact solver supports up to 16 modules");
+  PARMEM_FAULT_POINT("assign.exact", budget);
   for (const auto& t : stream.tuples) {
     if (t.operands.size() > module_count) return std::nullopt;  // infeasible
   }
-  return MinCopiesSearch(stream, module_count, node_budget).run();
+  if (budget != nullptr && !budget->poll()) return std::nullopt;
+  return MinCopiesSearch(stream, module_count, node_budget, budget).run();
 }
 
 std::size_t exact_min_removals(const graph::Graph& g, std::size_t k) {

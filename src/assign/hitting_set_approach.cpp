@@ -5,7 +5,9 @@
 #include "assign/backtrack.h"
 #include "assign/hitting_set.h"
 #include "assign/placement.h"
+#include "support/budget.h"
 #include "support/diagnostics.h"
+#include "support/fault_injection.h"
 
 namespace parmem::assign {
 namespace {
@@ -86,9 +88,21 @@ HittingSetOutcome hitting_set_duplicate(
   std::size_t max_width = 0;
   for (const auto& ops : insts) max_width = std::max(max_width, ops.size());
 
+  support::Budget* const budget = w.budget;
+  PARMEM_FAULT_POINT("assign.hitting_set", budget);
   for (std::size_t num = 3; num <= std::min(max_width, k); ++num) {
+    if (budget != nullptr && !budget->poll()) {
+      out.budget_exhausted = true;
+      break;
+    }
     const auto combos = combinations_of_size(insts, num);
     for (;;) {
+      // Each round scans every combination once; meter that work before
+      // spending it so a deadline interrupts between rounds.
+      if (budget != nullptr && !budget->charge(combos.size())) {
+        out.budget_exhausted = true;
+        break;
+      }
       // Candidate sets: for each conflicting combination, the multi-copy
       // duplicable operands whose replication can resolve it.
       std::vector<std::vector<std::uint32_t>> cand_sets;
@@ -115,14 +129,22 @@ HittingSetOutcome hitting_set_duplicate(
 
   // Guarantee the invariant: any instruction still conflicting gets the
   // per-instruction backtracking treatment over its duplicable operands.
+  // When the budget tripped, the unbounded enumeration is skipped and the
+  // conflicting instructions are reported for the caller's capped fix-up.
   for (std::size_t i = 0; i < insts.size(); ++i) {
     if (st.combination_conflict_free(insts[i])) continue;
-    const auto added = resolve_instruction(st, insts[i], duplicatable, rng);
+    if (out.budget_exhausted) {
+      out.unresolved.push_back(i);
+      continue;
+    }
+    const auto added =
+        resolve_instruction(st, insts[i], duplicatable, rng, budget);
     if (added.has_value()) {
       out.copies_added += *added;
     } else {
       out.unresolved.push_back(i);
     }
+    if (budget != nullptr && budget->exhausted()) out.budget_exhausted = true;
   }
   return out;
 }

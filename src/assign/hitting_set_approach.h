@@ -33,6 +33,12 @@ struct HittingSetOutcome {
   std::vector<std::size_t> unresolved;
   /// Number of duplication/placement rounds executed (for diagnostics).
   std::size_t rounds = 0;
+  /// True iff the budget (ws->budget) tripped: the iterative rounds and/or
+  /// the final fix-up were skipped. The pair step (two copies per
+  /// V_unassigned value) always completes, so pair conflicts are resolved
+  /// even in this case; the caller runs the capped fix-up tier for the
+  /// wider combinations.
+  bool budget_exhausted = false;
 };
 
 HittingSetOutcome hitting_set_duplicate(

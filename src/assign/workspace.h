@@ -23,9 +23,20 @@
 
 #include "graph/graph.h"
 
+namespace parmem::support {
+class Budget;
+}
+
 namespace parmem::assign {
 
 struct AssignWorkspace {
+  /// Active resource budget for the passes running on this workspace, or
+  /// null for unlimited. Unlike the scratch below this *can* change
+  /// results — exhaustion makes the assigner degrade down its tier ladder
+  /// (see assigner.h) — so the assigner sets it explicitly per pass and the
+  /// atom-parallel tasks copy it into their thread-local workspaces.
+  support::Budget* budget = nullptr;
+
   // ---- vertex-domain scratch (Fig. 4 coloring, one atom at a time) ----
   struct HeapEntry {
     std::uint64_t w;   // Σ wt(assigned → v)

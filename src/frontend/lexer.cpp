@@ -57,9 +57,14 @@ const char* tok_kind_name(TokKind k) {
 
 namespace {
 
-[[noreturn]] void lex_error(int line, int col, const std::string& msg) {
+[[noreturn]] void lex_error_at(std::string_view name, int line, int col,
+                               const std::string& msg) {
   std::ostringstream os;
-  os << "lex error at " << line << ":" << col << ": " << msg;
+  if (name.empty()) {
+    os << "lex error at " << line << ":" << col << ": " << msg;
+  } else {
+    os << name << ":" << line << ":" << col << ": lex error: " << msg;
+  }
   throw support::UserError(os.str());
 }
 
@@ -77,7 +82,11 @@ const std::map<std::string_view, TokKind>& keywords() {
 
 }  // namespace
 
-std::vector<Token> lex(std::string_view src) {
+std::vector<Token> lex(std::string_view src, std::string_view source_name) {
+  const auto lex_error = [source_name](int line, int col,
+                                       const std::string& msg) {
+    lex_error_at(source_name, line, col, msg);
+  };
   std::vector<Token> out;
   int line = 1, col = 1;
   std::size_t i = 0;
@@ -155,7 +164,11 @@ std::vector<Token> lex(std::string_view src) {
       t.col = cl;
       if (is_real) {
         t.kind = TokKind::kRealLit;
-        t.real_value = std::stod(text);
+        try {
+          t.real_value = std::stod(text);
+        } catch (const std::exception&) {
+          lex_error(l, cl, "real literal out of range: " + text);
+        }
       } else {
         t.kind = TokKind::kIntLit;
         std::int64_t v = 0;

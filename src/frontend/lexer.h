@@ -11,6 +11,9 @@ namespace parmem::frontend {
 /// Tokenizes `source`; throws support::UserError with line/column info on
 /// malformed input. The result always ends with a kEof token.
 /// `#` starts a comment running to end of line.
-std::vector<Token> lex(std::string_view source);
+/// `source_name`, when non-empty, prefixes diagnostics in the conventional
+/// "name:line:col:" form; empty keeps the bare "line:col" legacy format.
+std::vector<Token> lex(std::string_view source,
+                       std::string_view source_name = {});
 
 }  // namespace parmem::frontend

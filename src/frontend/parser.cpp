@@ -10,7 +10,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+  explicit Parser(std::vector<Token> tokens, std::string_view source_name)
+      : toks_(std::move(tokens)), source_name_(source_name) {}
 
   Program parse_program() {
     Program p;
@@ -21,16 +22,35 @@ class Parser {
   }
 
  private:
+  /// Deepest allowed expression/statement nesting: recursive descent uses
+  /// the machine stack, so unbounded nesting in hostile input would
+  /// overflow it instead of reporting a UserError.
+  static constexpr int kMaxDepth = 256;
+
   const Token& cur() const { return toks_[pos_]; }
   bool at(TokKind k) const { return cur().kind == k; }
 
   [[noreturn]] void error(const std::string& msg) const {
     std::ostringstream os;
-    os << "parse error at " << cur().line << ":" << cur().col << ": " << msg
-       << " (found " << tok_kind_name(cur().kind)
+    if (source_name_.empty()) {
+      os << "parse error at " << cur().line << ":" << cur().col << ": ";
+    } else {
+      os << source_name_ << ":" << cur().line << ":" << cur().col
+         << ": parse error: ";
+    }
+    os << msg << " (found " << tok_kind_name(cur().kind)
        << (cur().text.empty() ? "" : " '" + cur().text + "'") << ")";
     throw support::UserError(os.str());
   }
+
+  /// RAII depth guard for the recursive entry points.
+  struct DepthGuard {
+    Parser& p;
+    explicit DepthGuard(Parser& parser) : p(parser) {
+      if (++p.depth_ > kMaxDepth) p.error("nesting too deep");
+    }
+    ~DepthGuard() { --p.depth_; }
+  };
 
   Token eat(TokKind k, const char* what) {
     if (!at(k)) error(std::string("expected ") + what);
@@ -91,6 +111,7 @@ class Parser {
   }
 
   StmtPtr parse_stmt() {
+    const DepthGuard depth_guard(*this);
     if (at(TokKind::kVar)) return parse_var_decl();
     if (at(TokKind::kArray)) return parse_array_decl();
     if (at(TokKind::kIf)) return parse_if();
@@ -235,7 +256,10 @@ class Parser {
     return e;
   }
 
-  ExprPtr parse_expr() { return parse_or(); }
+  ExprPtr parse_expr() {
+    const DepthGuard depth_guard(*this);
+    return parse_or();
+  }
 
   ExprPtr parse_or() {
     auto lhs = parse_and();
@@ -405,13 +429,15 @@ class Parser {
   }
 
   std::vector<Token> toks_;
+  std::string_view source_name_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
 
-Program parse(std::string_view source) {
-  return Parser(lex(source)).parse_program();
+Program parse(std::string_view source, std::string_view source_name) {
+  return Parser(lex(source, source_name), source_name).parse_program();
 }
 
 }  // namespace parmem::frontend

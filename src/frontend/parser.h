@@ -8,7 +8,8 @@
 namespace parmem::frontend {
 
 /// Parses MC source text into an AST. Throws support::UserError with a
-/// line:column message on syntax errors. Run sema() afterwards to type-check.
-Program parse(std::string_view source);
+/// line:column message on syntax errors — prefixed "name:line:col:" when
+/// `source_name` is non-empty. Run sema() afterwards to type-check.
+Program parse(std::string_view source, std::string_view source_name = {});
 
 }  // namespace parmem::frontend

@@ -1,6 +1,7 @@
 #include "ir/stream_io.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "support/diagnostics.h"
@@ -9,68 +10,119 @@
 namespace parmem::ir {
 namespace {
 
-[[noreturn]] void io_error(std::size_t line, const std::string& msg) {
-  throw support::UserError("stream parse error at line " +
-                           std::to_string(line) + ": " + msg);
+/// Largest accepted `stream <value_count>` header. Per-value metadata is
+/// two bit-vectors, so this bounds the allocation a hostile header can
+/// force to a few MB instead of a bad_alloc (or worse, a silent wrap).
+constexpr std::uint64_t kMaxValueCount = std::uint64_t{1} << 28;
+
+/// One whitespace-separated token plus its 1-based source column.
+struct Tok {
+  std::string text;
+  std::size_t col = 1;
+};
+
+[[noreturn]] void io_error(std::string_view name, std::size_t line,
+                           std::size_t col, const std::string& msg) {
+  throw support::UserError(std::string(name) + ":" + std::to_string(line) +
+                           ":" + std::to_string(col) +
+                           ": stream parse error (line " +
+                           std::to_string(line) + "): " + msg);
 }
 
-std::uint64_t parse_number(std::string_view tok, std::size_t line) {
+std::uint64_t parse_number(const Tok& tok, std::string_view name,
+                           std::size_t line, std::size_t extra_col = 0) {
   std::uint64_t v = 0;
-  if (tok.empty()) io_error(line, "expected a number");
-  for (const char ch : tok) {
+  std::string_view digits(tok.text);
+  digits.remove_prefix(extra_col);
+  const std::size_t col = tok.col + extra_col;
+  if (digits.empty()) io_error(name, line, col, "expected a number");
+  for (const char ch : digits) {
     if (ch < '0' || ch > '9') {
-      io_error(line, "malformed number '" + std::string(tok) + "'");
+      io_error(name, line, col,
+               "malformed number '" + std::string(digits) + "'");
     }
-    v = v * 10 + static_cast<std::uint64_t>(ch - '0');
+    const auto d = static_cast<std::uint64_t>(ch - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - d) / 10) {
+      io_error(name, line, col,
+               "number out of range: '" + std::string(digits) + "'");
+    }
+    v = v * 10 + d;
   }
   return v;
 }
 
 }  // namespace
 
-AccessStream parse_stream(std::string_view text) {
+AccessStream parse_stream(std::string_view text,
+                          std::string_view source_name) {
   AccessStream s;
   bool header_seen = false;
   std::size_t line_no = 0;
 
   for (const std::string& raw : support::split(text, '\n')) {
     ++line_no;
-    std::string_view line = support::trim(raw);
-    const std::size_t hash = line.find('#');
-    if (hash != std::string_view::npos) {
-      line = support::trim(line.substr(0, hash));
+    // Tokenize in place, tracking 1-based columns on the raw line; '#'
+    // starts a comment.
+    std::vector<Tok> toks;
+    for (std::size_t i = 0; i < raw.size();) {
+      const char c = raw[i];
+      if (c == '#') break;
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++i;
+        continue;
+      }
+      Tok t;
+      t.col = i + 1;
+      while (i < raw.size() && raw[i] != ' ' && raw[i] != '\t' &&
+             raw[i] != '\r' && raw[i] != '#') {
+        t.text.push_back(raw[i]);
+        ++i;
+      }
+      toks.push_back(std::move(t));
     }
-    if (line.empty()) continue;
-
-    std::vector<std::string> toks;
-    for (const std::string& t : support::split(line, ' ')) {
-      if (!support::trim(t).empty()) toks.emplace_back(support::trim(t));
-    }
-    const std::string& kind = toks[0];
+    if (toks.empty()) continue;
+    const std::string& kind = toks[0].text;
+    const std::size_t kind_col = toks[0].col;
 
     if (kind == "stream") {
-      if (header_seen) io_error(line_no, "duplicate 'stream' header");
-      if (toks.size() != 2) io_error(line_no, "usage: stream <value_count>");
+      if (header_seen) {
+        io_error(source_name, line_no, kind_col, "duplicate 'stream' header");
+      }
+      if (toks.size() != 2) {
+        io_error(source_name, line_no, kind_col,
+                 "usage: stream <value_count>");
+      }
       header_seen = true;
-      s.value_count = static_cast<std::size_t>(parse_number(toks[1], line_no));
+      const std::uint64_t n = parse_number(toks[1], source_name, line_no);
+      if (n > kMaxValueCount) {
+        io_error(source_name, line_no, toks[1].col,
+                 "value_count " + std::to_string(n) + " exceeds the limit " +
+                     std::to_string(kMaxValueCount));
+      }
+      s.value_count = static_cast<std::size_t>(n);
       s.duplicatable.assign(s.value_count, true);
       s.global.assign(s.value_count, false);
       continue;
     }
-    if (!header_seen) io_error(line_no, "'stream <n>' header must come first");
+    if (!header_seen) {
+      io_error(source_name, line_no, kind_col,
+               "'stream <n>' header must come first");
+    }
 
-    const auto check_id = [&](std::uint64_t id) {
+    const auto check_id = [&](std::uint64_t id, std::size_t col) {
       if (id >= s.value_count) {
-        io_error(line_no, "value id " + std::to_string(id) +
-                              " out of range (value_count = " +
-                              std::to_string(s.value_count) + ")");
+        io_error(source_name, line_no, col,
+                 "value id " + std::to_string(id) +
+                     " out of range (value_count = " +
+                     std::to_string(s.value_count) + ")");
       }
       return static_cast<ValueId>(id);
     };
 
     if (kind == "mutable" || kind == "global") {
       for (std::size_t i = 1; i < toks.size(); ++i) {
-        const ValueId v = check_id(parse_number(toks[i], line_no));
+        const ValueId v = check_id(parse_number(toks[i], source_name, line_no),
+                                   toks[i].col);
         if (kind == "mutable") {
           s.duplicatable[v] = false;
         } else {
@@ -82,24 +134,31 @@ AccessStream parse_stream(std::string_view text) {
     if (kind == "tuple") {
       AccessTuple t;
       std::size_t start = 1;
-      if (toks.size() > 1 && toks[1].size() > 1 && toks[1][0] == '@') {
+      if (toks.size() > 1 && toks[1].text.size() > 1 &&
+          toks[1].text[0] == '@') {
         t.region = static_cast<RegionId>(
-            parse_number(std::string_view(toks[1]).substr(1), line_no));
+            parse_number(toks[1], source_name, line_no, /*extra_col=*/1));
         start = 2;
       }
       for (std::size_t i = start; i < toks.size(); ++i) {
-        t.operands.push_back(check_id(parse_number(toks[i], line_no)));
+        t.operands.push_back(check_id(
+            parse_number(toks[i], source_name, line_no), toks[i].col));
       }
-      if (t.operands.empty()) io_error(line_no, "empty tuple");
+      if (t.operands.empty()) {
+        io_error(source_name, line_no, kind_col, "empty tuple");
+      }
       std::sort(t.operands.begin(), t.operands.end());
       t.operands.erase(std::unique(t.operands.begin(), t.operands.end()),
                        t.operands.end());
       s.tuples.push_back(std::move(t));
       continue;
     }
-    io_error(line_no, "unknown directive '" + kind + "'");
+    io_error(source_name, line_no, kind_col,
+             "unknown directive '" + kind + "'");
   }
-  if (!header_seen) io_error(1, "missing 'stream <n>' header");
+  if (!header_seen) {
+    io_error(source_name, 1, 1, "missing 'stream <n>' header");
+  }
   return s;
 }
 

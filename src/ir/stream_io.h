@@ -27,9 +27,11 @@
 
 namespace parmem::ir {
 
-/// Parses the format above. Throws support::UserError with a line-numbered
-/// message on malformed input.
-AccessStream parse_stream(std::string_view text);
+/// Parses the format above. Throws support::UserError on malformed input
+/// with a "name:line:col: stream parse error: ..." message; `source_name`
+/// is the name used in those diagnostics (e.g. the file path).
+AccessStream parse_stream(std::string_view text,
+                          std::string_view source_name = "<stream>");
 
 /// Serializes a stream; parse_stream(format_stream(s)) reproduces s.
 std::string format_stream(const AccessStream& stream);

@@ -1,0 +1,183 @@
+// Cooperative resource budgets: wall-clock deadlines, step counts, and
+// cancellation, threaded through the compilation pipeline.
+//
+// The duplication machinery is built on NP-hard kernels (exact placement,
+// Fig. 6 backtracking, minimum hitting set); an unbounded run of any of them
+// can hang a compile on adversarial input. A Budget bounds that work
+// cooperatively: the long-running loops call charge() and bail out when it
+// returns false, at which point the assigner degrades down its quality
+// ladder (assigner.h: AssignTier) instead of dying.
+//
+// Contract used by every caller in the repo:
+//
+//  * a null Budget* means "unlimited" — call sites guard with
+//    `if (budget && !budget->charge(n))`, so the unbudgeted path executes
+//    exactly the seed instruction stream and stays byte-identical;
+//  * exhaustion latches: once charge() returns false it returns false
+//    forever, so concurrent atom tasks all observe the trip;
+//  * charge() is thread-safe (relaxed atomics) and cheap — the wall clock
+//    and the parent cancel token are polled only every kPollPeriod steps;
+//  * with only a step budget (no deadline) the serial path degrades
+//    deterministically: the trip point depends on the step stream alone.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace parmem::support {
+
+/// One-way cancellation flag, shared between a controller and any number of
+/// workers. Cancelling is idempotent and thread-safe.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Declarative budget limits. Zero means "no limit" for either field, so a
+/// default-constructed spec is unlimited and costs nothing.
+struct BudgetSpec {
+  std::uint64_t deadline_ms = 0;  // wall-clock bound from Budget creation
+  std::uint64_t max_steps = 0;    // cooperative step-count bound
+  bool limited() const { return deadline_ms != 0 || max_steps != 0; }
+};
+
+class Budget {
+ public:
+  /// Unlimited budget (never trips unless force_exhaust() is called).
+  Budget() = default;
+
+  /// Budget with the given limits. `parent` (optional) receives every
+  /// charge too, so a sub-budget (e.g. the exact tier's half-share) also
+  /// drains the whole-compile budget; `cancel` (optional) trips this budget
+  /// as soon as the token is cancelled.
+  explicit Budget(const BudgetSpec& spec, Budget* parent = nullptr,
+                  const CancelToken* cancel = nullptr)
+      : max_steps_(spec.max_steps), parent_(parent), cancel_(cancel) {
+    if (spec.deadline_ms != 0) {
+      has_deadline_ = true;
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(spec.deadline_ms);
+    }
+  }
+
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+
+  /// Charges `n` units of work. Returns true while the budget holds;
+  /// false once exhausted (latched). The deadline / cancel token are
+  /// polled when the step counter crosses a kPollPeriod boundary, so a
+  /// deadline is honoured within ~kPollPeriod charge calls.
+  bool charge(std::uint64_t n = 1) noexcept {
+    if (exhausted_.load(std::memory_order_relaxed)) return false;
+    if (parent_ != nullptr && !parent_->charge(n)) {
+      force_exhaust();
+      return false;
+    }
+    const std::uint64_t before =
+        steps_.fetch_add(n, std::memory_order_relaxed);
+    if (max_steps_ != 0 && before + n > max_steps_) {
+      force_exhaust();
+      return false;
+    }
+    if ((before / kPollPeriod) != ((before + n) / kPollPeriod)) return poll();
+    return true;
+  }
+
+  /// Polls the deadline and the cancel token immediately (also used at
+  /// coarse boundaries: per atom, per duplication round). Returns ok().
+  bool poll() noexcept {
+    if (exhausted_.load(std::memory_order_relaxed)) return false;
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      force_exhaust();
+      return false;
+    }
+    if (parent_ != nullptr && !parent_->poll()) {
+      force_exhaust();
+      return false;
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      force_exhaust();
+      return false;
+    }
+    return true;
+  }
+
+  /// True while the budget has not tripped. Does not poll the clock.
+  bool ok() const noexcept {
+    return !exhausted_.load(std::memory_order_relaxed);
+  }
+  bool exhausted() const noexcept { return !ok(); }
+
+  /// Trips the budget from outside (external cancellation, fault
+  /// injection). Latches; safe from any thread.
+  void force_exhaust() noexcept {
+    exhausted_.store(true, std::memory_order_relaxed);
+  }
+
+  std::uint64_t steps_used() const noexcept {
+    return steps_.load(std::memory_order_relaxed);
+  }
+
+  /// True when any limit (or a parent / cancel hook) exists; an unlimited
+  /// budget never trips on its own, so callers skip the plumbing entirely.
+  bool limited() const noexcept {
+    return has_deadline_ || max_steps_ != 0 || parent_ != nullptr ||
+           cancel_ != nullptr;
+  }
+
+  /// Remaining step allowance (0 when unlimited — callers must check
+  /// limited() / max_steps first).
+  std::uint64_t remaining_steps() const noexcept {
+    if (max_steps_ == 0) return 0;
+    const std::uint64_t used = steps_used();
+    return used >= max_steps_ ? 0 : max_steps_ - used;
+  }
+
+  /// Remaining wall-clock time in ms (0 when no deadline is set).
+  std::uint64_t remaining_ms() const noexcept {
+    if (!has_deadline_) return 0;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline_) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ - now)
+            .count());
+  }
+
+  /// Spec for a sub-budget holding `num/den` of the remaining allowance —
+  /// how the ladder gives the optional exact tier a half-share so a failed
+  /// exact attempt still leaves room for the heuristic tiers. At least one
+  /// unit of each active limit survives (a zero field would mean
+  /// "unlimited").
+  BudgetSpec fraction_of_remaining(std::uint64_t num,
+                                   std::uint64_t den) const noexcept {
+    BudgetSpec s;
+    if (has_deadline_) {
+      s.deadline_ms = std::max<std::uint64_t>(1, remaining_ms() * num / den);
+    }
+    if (max_steps_ != 0) {
+      s.max_steps = std::max<std::uint64_t>(1, remaining_steps() * num / den);
+    }
+    return s;
+  }
+
+ private:
+  static constexpr std::uint64_t kPollPeriod = 1024;
+
+  std::atomic<std::uint64_t> steps_{0};
+  std::atomic<bool> exhausted_{false};
+  std::uint64_t max_steps_ = 0;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  Budget* parent_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
+};
+
+}  // namespace parmem::support

@@ -1,0 +1,94 @@
+// Deterministic fault injection for robustness testing.
+//
+// Named sites in the pipeline call PARMEM_FAULT_POINT("site", budget) —
+// compiled to ((void)0) unless the build sets -DPARMEM_FAULT_INJECTION=ON —
+// and the test harness arms the injector to fire a chosen fault at a chosen
+// hit of a chosen site:
+//
+//   kTimeout       force-exhausts the active Budget (exercises the
+//                  degradation ladder without waiting for a real deadline);
+//   kBadAlloc      throws std::bad_alloc (allocation failure mid-phase);
+//   kInternalError throws support::InternalError (a synthetic library bug).
+//
+// Firing is deterministic: a site fires on exactly its configured hit
+// ordinal, counted per site since the last reset(). The injector can also
+// record the set of sites it passes through, so a sweep test discovers the
+// tagged sites from a clean run instead of hard-coding them.
+//
+// Everything here is process-global and mutex-guarded; the ON build is a
+// testing configuration where the lock cost is irrelevant.
+#pragma once
+
+#include <cstdint>
+
+#ifndef PARMEM_FAULT_INJECTION_ENABLED
+#define PARMEM_FAULT_INJECTION_ENABLED 0
+#endif
+
+namespace parmem::support {
+
+class Budget;
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kTimeout,
+  kBadAlloc,
+  kInternalError,
+};
+
+const char* fault_kind_name(FaultKind k);
+
+}  // namespace parmem::support
+
+#if PARMEM_FAULT_INJECTION_ENABLED
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace parmem::support {
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Arms `site` to fire `kind` on its `on_hit`-th execution (1-based)
+  /// counted from the last reset(). Re-arming a site replaces its plan.
+  void arm(const std::string& site, FaultKind kind, std::uint64_t on_hit = 1);
+
+  /// Disarms everything and zeroes all hit counters (recording mode and the
+  /// recorded site set survive only if `keep_sites` is true).
+  void reset(bool keep_sites = false);
+
+  /// While recording, every fired site name is collected for sites().
+  void set_recording(bool on);
+  std::vector<std::string> sites() const;
+
+  /// Called by PARMEM_FAULT_POINT. Throws / trips the budget when armed.
+  void fire(const char* site, Budget* budget);
+
+ private:
+  struct Plan {
+    FaultKind kind = FaultKind::kNone;
+    std::uint64_t on_hit = 1;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Plan> armed_;
+  std::map<std::string, std::uint64_t> hits_;
+  std::set<std::string> seen_;
+  bool recording_ = false;
+};
+
+}  // namespace parmem::support
+
+#define PARMEM_FAULT_POINT(site, budget) \
+  ::parmem::support::FaultInjector::instance().fire((site), (budget))
+
+#else
+
+#define PARMEM_FAULT_POINT(site, budget) ((void)0)
+
+#endif  // PARMEM_FAULT_INJECTION_ENABLED

@@ -3,6 +3,7 @@
 #include <exception>
 #include <string>
 
+#include "support/fault_injection.h"
 #include "telemetry/telemetry.h"
 
 namespace parmem::support {
@@ -100,10 +101,17 @@ void ThreadPool::worker_loop(std::size_t id) {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              const CancelToken* cancel) {
   if (n == 0) return;
+  const auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->cancelled();
+  };
   if (workers_.empty() || tl_in_task) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancelled()) break;
+      body(i);
+    }
     return;
   }
 
@@ -119,9 +127,12 @@ void ThreadPool::parallel_for(std::size_t n,
   std::vector<std::exception_ptr> errors(n);
 
   for (std::size_t i = 0; i < n; ++i) {
-    enqueue([&body, &errors, join, i] {
+    enqueue([&body, &errors, join, cancelled, i] {
       try {
-        body(i);
+        PARMEM_FAULT_POINT("pool.task", nullptr);
+        // A cancelled task is skipped but still joins, so the caller's
+        // frame (body, errors) stays alive until every task is accounted.
+        if (!cancelled()) body(i);
       } catch (...) {
         errors[i] = std::current_exception();
       }

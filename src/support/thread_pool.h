@@ -26,6 +26,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/budget.h"
+
 namespace parmem::support {
 
 class ThreadPool {
@@ -48,8 +50,15 @@ class ThreadPool {
   /// index is rethrown once every body has finished. With zero workers, or
   /// when called from inside another pool task, bodies run inline in index
   /// order.
+  ///
+  /// `cancel` (optional) is polled before each body: once the token is
+  /// cancelled, bodies that have not started yet are skipped. Bodies
+  /// already in flight run to completion and the call still joins every
+  /// scheduled task before returning — cancellation never leaves a detached
+  /// worker holding a reference to the caller's frame.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    const CancelToken* cancel = nullptr);
 
   /// Schedules a single task; exceptions propagate through the future.
   /// With zero workers the task runs inline before returning.

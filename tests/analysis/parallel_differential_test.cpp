@@ -156,13 +156,15 @@ TEST(ParallelDifferential, BatchMatchesPerSourceSerialCompiles) {
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     PipelineOptions bopts = opts;
     bopts.parallel.threads = threads;
-    const std::vector<Compiled> got = compile_batch(sources, bopts);
+    const std::vector<CompileResult> got = compile_batch(sources, bopts);
     ASSERT_EQ(got.size(), expected.size());
     for (std::size_t i = 0; i < got.size(); ++i) {
-      expect_identical(expected[i].assignment, got[i].assignment,
+      ASSERT_TRUE(got[i].ok()) << got[i].diagnostic;
+      expect_identical(expected[i].assignment, got[i].compiled->assignment,
                        "job " + std::to_string(i) + " at " +
                            std::to_string(threads) + " threads");
-      EXPECT_EQ(expected[i].liw.to_string(), got[i].liw.to_string());
+      EXPECT_EQ(expected[i].liw.to_string(),
+                got[i].compiled->liw.to_string());
     }
   }
 }

@@ -1,0 +1,189 @@
+// Budget/CancelToken contract (see budget.h): a default budget is
+// unlimited and never trips on its own; limits latch once exhausted;
+// charges forward to the parent so a sub-budget drains the whole-compile
+// allowance; the cancel token trips the budget at the next poll; and with
+// only a step budget the trip point is a pure function of the charge
+// stream (the deterministic-degradation guarantee the robustness tests
+// build on).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "support/budget.h"
+
+namespace parmem::support {
+namespace {
+
+TEST(Budget, DefaultIsUnlimitedAndNeverTrips) {
+  Budget b;
+  EXPECT_FALSE(b.limited());
+  for (int i = 0; i < 10'000; ++i) EXPECT_TRUE(b.charge(1'000));
+  EXPECT_TRUE(b.poll());
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(b.remaining_steps(), 0u);  // 0 == "no step limit"
+  EXPECT_EQ(b.remaining_ms(), 0u);     // 0 == "no deadline"
+}
+
+TEST(Budget, StepLimitTripsAndLatches) {
+  BudgetSpec spec;
+  spec.max_steps = 100;
+  Budget b(spec);
+  EXPECT_TRUE(b.limited());
+  EXPECT_TRUE(b.charge(60));
+  EXPECT_EQ(b.remaining_steps(), 40u);
+  EXPECT_FALSE(b.charge(41));  // 60 + 41 > 100
+  EXPECT_TRUE(b.exhausted());
+  // Latched: even a free charge keeps failing.
+  EXPECT_FALSE(b.charge(0));
+  EXPECT_FALSE(b.charge(1));
+  EXPECT_FALSE(b.poll());
+  EXPECT_EQ(b.remaining_steps(), 0u);
+}
+
+TEST(Budget, StepTripPointIsDeterministic) {
+  // Same spec + same charge stream => the trip happens on the same call.
+  const auto trip_index = [] {
+    BudgetSpec spec;
+    spec.max_steps = 1'000;
+    Budget b(spec);
+    int i = 0;
+    while (b.charge(7)) ++i;
+    return i;
+  };
+  const int first = trip_index();
+  EXPECT_EQ(trip_index(), first);
+  EXPECT_EQ(trip_index(), first);
+}
+
+TEST(Budget, DeadlineTripsOncePassed) {
+  BudgetSpec spec;
+  spec.deadline_ms = 1;
+  Budget b(spec);
+  EXPECT_TRUE(b.limited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(b.poll());
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.remaining_ms(), 0u);
+}
+
+TEST(Budget, CancelTokenTripsAtNextPoll) {
+  CancelToken token;
+  Budget b(BudgetSpec{}, nullptr, &token);
+  EXPECT_TRUE(b.limited());  // a cancel hook alone makes it worth polling
+  EXPECT_TRUE(b.poll());
+  token.cancel();
+  token.cancel();  // idempotent
+  EXPECT_FALSE(b.poll());
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_FALSE(b.charge());
+}
+
+TEST(Budget, ChargesForwardToParent) {
+  BudgetSpec parent_spec;
+  parent_spec.max_steps = 50;
+  Budget parent(parent_spec);
+  Budget child(BudgetSpec{}, &parent);  // no limits of its own
+  EXPECT_TRUE(child.limited());
+
+  EXPECT_TRUE(child.charge(30));
+  EXPECT_EQ(parent.steps_used(), 30u);
+  EXPECT_FALSE(child.charge(30));  // parent trips, child latches with it
+  EXPECT_TRUE(parent.exhausted());
+  EXPECT_TRUE(child.exhausted());
+}
+
+TEST(Budget, ChildExhaustionLeavesParentAlive) {
+  Budget parent;
+  BudgetSpec child_spec;
+  child_spec.max_steps = 10;
+  Budget child(child_spec, &parent);
+  EXPECT_FALSE(child.charge(11));
+  EXPECT_TRUE(child.exhausted());
+  // The half-share pattern: a failed exact attempt must leave the
+  // whole-compile budget usable for the fallback tiers.
+  EXPECT_TRUE(parent.ok());
+  EXPECT_TRUE(parent.charge(1'000));
+}
+
+TEST(Budget, ParentPollPropagatesThroughChild) {
+  CancelToken token;
+  Budget parent(BudgetSpec{}, nullptr, &token);
+  Budget child(BudgetSpec{}, &parent);
+  EXPECT_TRUE(child.poll());
+  token.cancel();
+  EXPECT_FALSE(child.poll());
+  EXPECT_TRUE(child.exhausted());
+  EXPECT_TRUE(parent.exhausted());
+}
+
+TEST(Budget, ForceExhaustLatchesFromOutside) {
+  BudgetSpec spec;
+  spec.max_steps = 1'000'000;
+  Budget b(spec);
+  EXPECT_TRUE(b.charge());
+  b.force_exhaust();
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_FALSE(b.charge());
+  EXPECT_FALSE(b.poll());
+}
+
+TEST(Budget, FractionOfRemainingSplitsStepAllowance) {
+  BudgetSpec spec;
+  spec.max_steps = 100;
+  Budget b(spec);
+  EXPECT_TRUE(b.charge(40));
+  const BudgetSpec half = b.fraction_of_remaining(1, 2);
+  EXPECT_EQ(half.max_steps, 30u);  // half of the remaining 60
+  EXPECT_EQ(half.deadline_ms, 0u);  // no deadline on the parent
+}
+
+TEST(Budget, FractionOfRemainingNeverReturnsUnlimitedFields) {
+  // A zero field would mean "no limit": even a fully drained budget must
+  // hand out at least one unit per active limit.
+  BudgetSpec spec;
+  spec.max_steps = 10;
+  spec.deadline_ms = 1;
+  Budget b(spec);
+  EXPECT_FALSE(b.charge(11));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const BudgetSpec crumbs = b.fraction_of_remaining(1, 2);
+  EXPECT_EQ(crumbs.max_steps, 1u);
+  EXPECT_EQ(crumbs.deadline_ms, 1u);
+}
+
+TEST(BudgetSpec, LimitedMatchesFields) {
+  BudgetSpec none;
+  EXPECT_FALSE(none.limited());
+  BudgetSpec steps;
+  steps.max_steps = 1;
+  EXPECT_TRUE(steps.limited());
+  BudgetSpec wall;
+  wall.deadline_ms = 1;
+  EXPECT_TRUE(wall.limited());
+}
+
+TEST(Budget, ConcurrentChargesObserveOneTrip) {
+  // Many threads hammer one budget; the trip must latch exactly once and
+  // every thread must observe it (no thread spins past exhaustion).
+  BudgetSpec spec;
+  spec.max_steps = 100'000;
+  Budget b(spec);
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> charged{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      while (b.charge(17)) charged.fetch_add(17, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(b.exhausted());
+  // Successful charges never exceed the limit by more than the last
+  // in-flight increments (one per thread).
+  EXPECT_LE(charged.load(), 100'000u + 4 * 17);
+}
+
+}  // namespace
+}  // namespace parmem::support

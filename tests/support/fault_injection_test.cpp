@@ -1,0 +1,125 @@
+// FaultInjector mechanics (see fault_injection.h): deterministic firing on
+// a configured hit ordinal, per-site counters, recording mode, and the
+// three fault kinds. The whole file degrades to a skip when the build
+// compiles the injector out (-DPARMEM_FAULT_INJECTION=OFF, the default) —
+// that configuration's contract is that PARMEM_FAULT_POINT is a no-op.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <new>
+#include <string>
+
+#include "support/budget.h"
+#include "support/diagnostics.h"
+#include "support/fault_injection.h"
+
+namespace parmem::support {
+namespace {
+
+#if !PARMEM_FAULT_INJECTION_ENABLED
+
+TEST(FaultInjection, CompiledOut) {
+  // The macro must be valid (and free) in the OFF build.
+  Budget budget;
+  PARMEM_FAULT_POINT("test.site", &budget);
+  EXPECT_TRUE(budget.ok());
+  GTEST_SKIP() << "built with -DPARMEM_FAULT_INJECTION=OFF";
+}
+
+#else
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedSiteIsANoop) {
+  Budget budget;
+  for (int i = 0; i < 100; ++i) PARMEM_FAULT_POINT("test.calm", &budget);
+  EXPECT_TRUE(budget.ok());
+}
+
+TEST_F(FaultInjectionTest, FiresOnExactlyTheConfiguredHit) {
+  FaultInjector::instance().arm("test.third", FaultKind::kInternalError,
+                                /*on_hit=*/3);
+  Budget budget;
+  PARMEM_FAULT_POINT("test.third", &budget);  // hit 1
+  PARMEM_FAULT_POINT("test.third", &budget);  // hit 2
+  EXPECT_THROW(PARMEM_FAULT_POINT("test.third", &budget), InternalError);
+  // One-shot: the 4th hit passes again.
+  PARMEM_FAULT_POINT("test.third", &budget);
+  EXPECT_TRUE(budget.ok());
+}
+
+TEST_F(FaultInjectionTest, TimeoutTripsTheActiveBudget) {
+  FaultInjector::instance().arm("test.slow", FaultKind::kTimeout);
+  Budget budget;
+  EXPECT_TRUE(budget.ok());
+  PARMEM_FAULT_POINT("test.slow", &budget);  // no throw — a budget trip
+  EXPECT_TRUE(budget.exhausted());
+}
+
+TEST_F(FaultInjectionTest, TimeoutWithoutBudgetInScopeIsIgnored) {
+  FaultInjector::instance().arm("test.slow", FaultKind::kTimeout);
+  EXPECT_NO_THROW(PARMEM_FAULT_POINT("test.slow", nullptr));
+}
+
+TEST_F(FaultInjectionTest, BadAllocThrows) {
+  FaultInjector::instance().arm("test.oom", FaultKind::kBadAlloc);
+  Budget budget;
+  EXPECT_THROW(PARMEM_FAULT_POINT("test.oom", &budget), std::bad_alloc);
+}
+
+TEST_F(FaultInjectionTest, InternalErrorNamesTheSite) {
+  FaultInjector::instance().arm("test.bug", FaultKind::kInternalError);
+  try {
+    PARMEM_FAULT_POINT("test.bug", nullptr);
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("test.bug"), std::string::npos);
+  }
+}
+
+TEST_F(FaultInjectionTest, RearmingReplacesThePlanAndZeroesTheCounter) {
+  FaultInjector::instance().arm("test.site", FaultKind::kBadAlloc,
+                                /*on_hit=*/2);
+  PARMEM_FAULT_POINT("test.site", nullptr);  // hit 1 of the old plan
+  FaultInjector::instance().arm("test.site", FaultKind::kInternalError,
+                                /*on_hit=*/2);
+  PARMEM_FAULT_POINT("test.site", nullptr);  // hit 1 of the new plan
+  EXPECT_THROW(PARMEM_FAULT_POINT("test.site", nullptr), InternalError);
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsEverything) {
+  FaultInjector::instance().arm("test.site", FaultKind::kBadAlloc);
+  FaultInjector::instance().reset();
+  EXPECT_NO_THROW(PARMEM_FAULT_POINT("test.site", nullptr));
+}
+
+TEST_F(FaultInjectionTest, RecordingCollectsSiteNames) {
+  FaultInjector::instance().set_recording(true);
+  PARMEM_FAULT_POINT("test.alpha", nullptr);
+  PARMEM_FAULT_POINT("test.beta", nullptr);
+  PARMEM_FAULT_POINT("test.alpha", nullptr);  // deduplicated
+  const auto sites = FaultInjector::instance().sites();
+  EXPECT_EQ(sites.size(), 2u);
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "test.alpha"), sites.end());
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "test.beta"), sites.end());
+  // reset(keep_sites=true) keeps the recorded set for the sweep pattern.
+  FaultInjector::instance().reset(/*keep_sites=*/true);
+  EXPECT_EQ(FaultInjector::instance().sites().size(), 2u);
+  FaultInjector::instance().reset();
+  EXPECT_TRUE(FaultInjector::instance().sites().empty());
+}
+
+#endif  // PARMEM_FAULT_INJECTION_ENABLED
+
+TEST(FaultKindNames, AllKindsNamed) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::kNone), "none");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kTimeout), "timeout");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kBadAlloc), "bad_alloc");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kInternalError), "internal_error");
+}
+
+}  // namespace
+}  // namespace parmem::support

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -138,6 +139,49 @@ TEST(ThreadPool, StressManySmallTasks) {
     EXPECT_EQ(fut.get(), wave);
   }
   EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, PreCancelledTokenSkipsEveryBody) {
+  for (const std::size_t workers : {0u, 1u, 4u}) {
+    CancelToken token;
+    token.cancel();
+    ThreadPool pool(workers);
+    std::atomic<int> ran{0};
+    pool.parallel_for(128, [&](std::size_t) { ran.fetch_add(1); }, &token);
+    EXPECT_EQ(ran.load(), 0) << workers << " workers";
+  }
+}
+
+TEST(ThreadPool, CancelMidFlightSkipsRemainingBodiesAndStillJoins) {
+  // The first body to run cancels the token: bodies not yet started must be
+  // skipped, in-flight bodies finish, and the call joins everything —
+  // `ran` must be final when parallel_for returns.
+  for (const std::size_t workers : {0u, 2u}) {
+    CancelToken token;
+    ThreadPool pool(workers);
+    std::atomic<int> ran{0};
+    pool.parallel_for(256,
+                      [&](std::size_t) {
+                        token.cancel();
+                        ran.fetch_add(1);
+                      },
+                      &token);
+    const int at_return = ran.load();
+    EXPECT_GE(at_return, 1) << workers << " workers";
+    // At most one body per participating thread can already be in flight
+    // when the first cancel lands.
+    EXPECT_LE(at_return, static_cast<int>(workers) + 1)
+        << workers << " workers";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(ran.load(), at_return) << "a body ran after the join";
+  }
+}
+
+TEST(ThreadPool, NullCancelTokenRunsEverything) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.parallel_for(64, [&](std::size_t) { ran.fetch_add(1); }, nullptr);
+  EXPECT_EQ(ran.load(), 64);
 }
 
 TEST(ThreadPool, DestructorDrainsQueuedTasks) {
