@@ -1,0 +1,439 @@
+// parmemd — the compile service as a long-running daemon.
+//
+// Reads length-framed compile requests (frame.h / request.h) and writes
+// framed responses; the compile work runs on the service's worker pool with
+// admission control, retry/backoff, watchdog cancellation and a crash-safe
+// result cache behind it (src/service/server.h).
+//
+//   parmemd [options]                 stdio mode: frames on stdin/stdout
+//   parmemd --socket PATH [options]   unix-socket mode: sequential accept
+//                                     loop, one client served at a time
+//   parmemd --soak SECONDS [options]  in-process chaos soak (the CI job):
+//                                     mixed valid/malformed requests with
+//                                     random deadlines; exits non-zero if
+//                                     any request is lost or a warm restart
+//                                     re-serves different bytes
+//
+// Options:
+//   --cache-dir DIR         persistent result-cache journal (default: none)
+//   --workers N             service worker threads (default 2)
+//   --queue-cap N           admission high watermark (default 64)
+//   --deadline-ms N         default deadline for requests without one
+//   --grace-ms N            watchdog grace past the deadline (default 50)
+//   --compile-threads N     atom-parallel threads per compile (default 0)
+//   --seed S                soak-mode request mix seed
+//   --trace FILE.json       write a Chrome trace-event file on exit
+//   --stats                 print phase/counter tables on exit (stderr)
+//
+// SIGTERM / SIGINT (or stdin EOF) starts a graceful drain: admission stops,
+// queued and in-flight requests still get their terminal responses, the
+// cache journal is already durable (every store was an atomic rename), then
+// the daemon exits 0.
+//
+// Exit codes: 0 clean drain; 1 user error (bad flags / socket path);
+// 2 internal error; 4 soak failure (lost request or warm-restart mismatch).
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/frame.h"
+#include "service/request.h"
+#include "service/server.h"
+#include "support/rng.h"
+#include "telemetry/export.h"
+#include "telemetry/session.h"
+#include "workloads/workloads.h"
+
+#if PARMEM_FAULT_INJECTION_ENABLED
+#include "support/fault_injection.h"
+#endif
+
+namespace {
+
+using namespace parmem;
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_shutdown_signal(int) {
+  const char byte = 1;
+  // Best effort: the self-pipe is non-blocking and one byte is enough.
+  [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void install_signal_pipe() {
+  if (::pipe(g_signal_pipe) != 0) {
+    throw support::UserError("cannot create the signal self-pipe");
+  }
+  ::fcntl(g_signal_pipe[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(g_signal_pipe[1], F_SETFL, O_NONBLOCK);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = on_shutdown_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: parmemd [--socket PATH | --soak SECONDS] "
+               "[--cache-dir DIR] [--workers N] [--queue-cap N] "
+               "[--deadline-ms N] [--grace-ms N] [--compile-threads N] "
+               "[--seed S] [--trace FILE.json] [--stats]\n");
+  return 1;
+}
+
+void print_service_summary(service::CompileService& svc) {
+  const auto c = svc.counters();
+  const auto cs = svc.cache().stats();
+  std::fprintf(stderr,
+               "parmemd: accepted %llu shed %llu cache-hit %llu retried %llu "
+               "escalated %llu cancelled %llu watchdog %llu completed %llu\n",
+               (unsigned long long)c.accepted, (unsigned long long)c.shed,
+               (unsigned long long)c.cache_hits, (unsigned long long)c.retried,
+               (unsigned long long)c.escalated, (unsigned long long)c.cancelled,
+               (unsigned long long)c.watchdog_fired,
+               (unsigned long long)c.completed);
+  std::fprintf(stderr,
+               "parmemd: cache hits %llu misses %llu stores %llu "
+               "store-errors %llu loaded %llu load-errors %llu\n",
+               (unsigned long long)cs.hits, (unsigned long long)cs.misses,
+               (unsigned long long)cs.stores,
+               (unsigned long long)cs.store_errors,
+               (unsigned long long)cs.loaded,
+               (unsigned long long)cs.load_errors);
+}
+
+int run_stdio(const service::ServiceOptions& opts) {
+  service::FdStream stream(STDIN_FILENO, STDOUT_FILENO, g_signal_pipe[0]);
+  service::CompileService svc(opts);
+  const std::uint64_t served = service::serve(stream, svc);
+  svc.drain();
+  std::fprintf(stderr, "parmemd: drained after %llu responses\n",
+               (unsigned long long)served);
+  print_service_summary(svc);
+  return 0;
+}
+
+int run_socket(const std::string& path, const service::ServiceOptions& opts) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw support::UserError("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) throw support::UserError("cannot create socket");
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd, 8) != 0) {
+    ::close(listen_fd);
+    throw support::UserError("cannot bind/listen on " + path);
+  }
+
+  service::CompileService svc(opts);
+  std::uint64_t served = 0;
+  for (;;) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // SIGTERM/SIGINT
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    service::FdStream stream(conn, conn, g_signal_pipe[0]);
+    served += service::serve(stream, svc);
+    ::close(conn);
+  }
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  svc.drain();
+  std::fprintf(stderr, "parmemd: drained after %llu responses\n",
+               (unsigned long long)served);
+  print_service_summary(svc);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak (the CI job's workload).
+
+std::string synth_stream_source(support::SplitMix64& rng) {
+  const std::uint64_t values = 6 + rng.below(20);
+  std::string text = "stream " + std::to_string(values) + "\n";
+  const std::uint64_t tuples = 4 + rng.below(12);
+  for (std::uint64_t t = 0; t < tuples; ++t) {
+    const std::uint64_t width = 2 + rng.below(2);
+    const std::uint64_t start = rng.below(values);
+    text += "tuple";
+    for (std::uint64_t i = 0; i < width; ++i) {
+      text += ' ' + std::to_string((start + i) % values);
+    }
+    text += '\n';
+  }
+  return text;
+}
+
+std::string malformed_source(support::SplitMix64& rng) {
+  static const char* kBad[] = {
+      "",                                  // empty program
+      "func main( {",                      // MC syntax error
+      "stream nope\n",                     // bad stream header
+      "stream 4\ntuple 0 99\n",            // value id out of range
+      "stream 4294967295\ntuple 0 1\n",    // above the admission cap
+      "tuple 0 1\n",                       // stream body without header
+  };
+  return kBad[rng.below(sizeof kBad / sizeof kBad[0])];
+}
+
+int run_soak(service::ServiceOptions opts, std::uint64_t seconds,
+             std::uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  support::SplitMix64 rng(seed);
+  const auto& workloads = workloads::all_workloads();
+
+  struct OkSample {
+    service::CompileRequest req;
+    std::string payload;
+  };
+  std::mutex sample_mu;
+  std::vector<OkSample> samples;
+  std::atomic<std::uint64_t> responded{0};
+  std::atomic<std::uint64_t> status_counts[6] = {};
+
+  std::uint64_t submitted = 0;
+  std::uint64_t lost = 0;
+  {
+    service::CompileService svc(opts);
+    const auto t_end = Clock::now() + std::chrono::seconds(seconds);
+    std::uint64_t next_id = 1;
+    while (Clock::now() < t_end) {
+      // Submit in bursts so the queue actually fills and admission sheds.
+      const std::uint64_t burst = 1 + rng.below(8);
+      for (std::uint64_t b = 0; b < burst; ++b) {
+#if PARMEM_FAULT_INJECTION_ENABLED
+        if (rng.below(16) == 0) {
+          static const support::FaultKind kKinds[] = {
+              support::FaultKind::kTimeout, support::FaultKind::kBadAlloc,
+              support::FaultKind::kInternalError};
+          static const char* kSites[] = {"service.worker", "service.admit",
+                                         "service.cache_store",
+                                         "pipeline.assign"};
+          support::FaultInjector::instance().arm(
+              kSites[rng.below(4)], kKinds[rng.below(3)], 1 + rng.below(3));
+        }
+#endif
+        service::CompileRequest req;
+        req.id = next_id++;
+        const std::uint64_t roll = rng.below(100);
+        if (roll < 55) {
+          req.kind = service::RequestKind::kMc;
+          req.body = workloads[rng.below(workloads.size())].source;
+        } else if (roll < 80) {
+          req.kind = service::RequestKind::kStream;
+          req.body = synth_stream_source(rng);
+        } else {
+          req.kind = rng.below(2) == 0 ? service::RequestKind::kMc
+                                       : service::RequestKind::kStream;
+          req.body = malformed_source(rng);
+        }
+        req.module_count = 4 + 4 * rng.below(3);  // 4, 8 or 12
+        if (rng.below(100) < 30) req.deadline_ms = 1 + rng.below(30);
+        if (rng.below(100) < 10) req.max_steps = 500 + rng.below(5000);
+
+        const service::CompileRequest copy = req;
+        ++submitted;
+        svc.submit(std::move(req), [&, copy](
+                                       const service::CompileResponse& resp) {
+          responded.fetch_add(1, std::memory_order_relaxed);
+          status_counts[static_cast<std::size_t>(resp.status)].fetch_add(
+              1, std::memory_order_relaxed);
+          // Deadline-free full-effort successes recompile deterministically,
+          // so they are the warm-restart byte-identity probes.
+          if (resp.status == service::ResponseStatus::kOk &&
+              copy.deadline_ms == 0) {
+            std::lock_guard<std::mutex> lk(sample_mu);
+            if (samples.size() < 32) {
+              samples.push_back({copy, service::format_response(resp)});
+            }
+          }
+        });
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 + rng.below(3)));
+    }
+    svc.drain();
+#if PARMEM_FAULT_INJECTION_ENABLED
+    support::FaultInjector::instance().reset();
+#endif
+    lost = submitted - responded.load();
+    std::fprintf(stderr, "parmemd soak: %llu submitted, %llu responded",
+                 (unsigned long long)submitted,
+                 (unsigned long long)responded.load());
+    static const char* kNames[] = {"ok",         "degraded",   "user-error",
+                                   "internal",   "overloaded", "cancelled"};
+    for (std::size_t s = 0; s < 6; ++s) {
+      std::fprintf(stderr, ", %s %llu", kNames[s],
+                   (unsigned long long)status_counts[s].load());
+    }
+    std::fprintf(stderr, "\n");
+    print_service_summary(svc);
+  }
+
+  // Warm restart: a fresh service over the same journal must re-serve the
+  // sampled responses byte-for-byte, from cache.
+  std::uint64_t warm_checked = 0, warm_mismatch = 0;
+  if (!opts.cache_dir.empty() && !samples.empty()) {
+    service::CompileService warm(opts);
+    for (const OkSample& s : samples) {
+      const service::CompileResponse resp = warm.handle(s.req);
+      ++warm_checked;
+      if (service::format_response(resp) != s.payload) ++warm_mismatch;
+    }
+    const auto wc = warm.counters();
+    std::fprintf(stderr,
+                 "parmemd soak: warm restart checked %llu responses, "
+                 "%llu mismatched, %llu served from cache (%llu loaded)\n",
+                 (unsigned long long)warm_checked,
+                 (unsigned long long)warm_mismatch,
+                 (unsigned long long)wc.cache_hits,
+                 (unsigned long long)warm.cache().stats().loaded);
+    warm.drain();
+  }
+
+  if (lost != 0 || warm_mismatch != 0) {
+    std::fprintf(stderr,
+                 "parmemd soak: FAILED — %llu lost requests, %llu "
+                 "warm-restart mismatches\n",
+                 (unsigned long long)lost, (unsigned long long)warm_mismatch);
+    return 4;
+  }
+  std::fprintf(stderr, "parmemd soak: OK\n");
+  return 0;
+}
+
+int run_parmemd(int argc, char** argv) {
+  service::ServiceOptions opts;
+  std::string socket_path;
+  std::uint64_t soak_seconds = 0;
+  std::uint64_t seed = 0x5eedULL;
+  std::string trace_path;
+  bool stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw support::UserError("missing value after " + arg);
+      }
+      return argv[++i];
+    };
+    const auto next_count = [&]() -> std::uint64_t {
+      const char* text = next();
+      try {
+        return std::stoull(text);
+      } catch (const std::exception&) {
+        throw support::UserError("invalid number for " + arg + ": '" +
+                                 std::string(text) + "'");
+      }
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--soak") {
+      soak_seconds = next_count();
+    } else if (arg == "--cache-dir") {
+      opts.cache_dir = next();
+    } else if (arg == "--workers") {
+      opts.workers = static_cast<std::size_t>(next_count());
+    } else if (arg == "--queue-cap") {
+      opts.queue_capacity = static_cast<std::size_t>(next_count());
+    } else if (arg == "--deadline-ms") {
+      opts.default_deadline_ms = next_count();
+    } else if (arg == "--grace-ms") {
+      opts.watchdog_grace_ms = next_count();
+    } else if (arg == "--compile-threads") {
+      opts.compile_threads = static_cast<std::size_t>(next_count());
+    } else if (arg == "--seed") {
+      seed = next_count();
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      return usage();
+    }
+  }
+  if (!socket_path.empty() && soak_seconds != 0) return usage();
+
+  install_signal_pipe();
+
+  const bool telemetry_requested = !trace_path.empty() || stats;
+  if (telemetry_requested) {
+    if (!telemetry::kEnabled) {
+      std::fprintf(stderr,
+                   "warning: built with -DPARMEM_TELEMETRY=OFF — the trace "
+                   "and stats will be empty\n");
+    }
+    telemetry::TraceSession::global().start();
+  }
+
+  int rc = 0;
+  if (soak_seconds != 0) {
+    rc = run_soak(opts, soak_seconds, seed);
+  } else if (!socket_path.empty()) {
+    rc = run_socket(socket_path, opts);
+  } else {
+    rc = run_stdio(opts);
+  }
+
+  if (telemetry_requested) {
+    telemetry::TraceSession::global().stop();
+    const auto lanes = telemetry::TraceSession::global().take();
+    if (!trace_path.empty()) {
+      if (!telemetry::write_chrome_trace(
+              trace_path, lanes, telemetry::TraceSession::global().start_ns())) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 2;
+      }
+      std::fprintf(stderr, "trace written to %s (%zu lanes)\n",
+                   trace_path.c_str(), lanes.size());
+    }
+    if (stats) {
+      std::fprintf(stderr, "%s\n", telemetry::phase_summary(lanes).c_str());
+      std::fprintf(stderr, "%s",
+                   telemetry::counters_table(
+                       telemetry::Registry::instance().snapshot())
+                       .c_str());
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_parmemd(argc, argv);
+  } catch (const parmem::support::UserError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -124,13 +124,14 @@ Compiled compile_mc(const std::string& source, const PipelineOptions& opts) {
 
 std::vector<CompileResult> compile_batch(
     const std::vector<std::string>& sources, const PipelineOptions& opts,
-    const support::CancelToken* cancel) {
+    const support::CancelToken* cancel, const BatchHooks* hooks) {
   std::vector<CompileResult> out(sources.size());
   // One job: compile, trapping failures into the per-source result so a
   // poisoned input cannot take down its batch neighbours. A job that never
   // runs keeps the default kCancelled status.
   const auto run_one = [&](std::size_t i, support::ThreadPool* pool) {
     if (cancel != nullptr && cancel->cancelled()) return;
+    if (hooks != nullptr && hooks->on_job_start) hooks->on_job_start(i);
     CompileResult& r = out[i];
     try {
       r.compiled.emplace(compile_mc(sources[i], opts, pool, cancel));
@@ -166,6 +167,24 @@ std::vector<CompileResult> compile_batch(
   pool.parallel_for(
       sources.size(), [&](std::size_t i) { run_one(i, &pool); }, cancel);
   return out;
+}
+
+std::uint64_t compiled_fingerprint(const Compiled& compiled) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  const auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  };
+  const auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(v >> (8 * i)));
+  };
+  const std::string liw = compiled.liw.to_string();
+  for (const char c : liw) mix_byte(static_cast<unsigned char>(c));
+  mix_u64(compiled.assignment.module_count);
+  for (const auto m : compiled.assignment.placement) mix_u64(m);
+  for (const bool b : compiled.assignment.removed) mix_u64(b ? 1 : 0);
+  mix_u64(static_cast<std::uint64_t>(compiled.assignment.tier));
+  return h;
 }
 
 ExecutionPair run_and_check(const Compiled& compiled,

@@ -9,6 +9,8 @@
 // part.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -136,6 +138,16 @@ Compiled compile_mc(const std::string& source, const PipelineOptions& opts,
                     support::ThreadPool* pool,
                     const support::CancelToken* cancel = nullptr);
 
+/// Lifecycle observation hooks for compile_batch. `on_job_start` fires on
+/// the executing thread just before job i compiles (after the cancel check,
+/// so a cancelled job never reports a start). The cancellation-drain tests
+/// use it as a handshake — cancel exactly when a job is provably in flight,
+/// instead of sleeping and hoping — and the chaos harness uses it to count
+/// admissions. Hooks must be thread-safe; a null function is skipped.
+struct BatchHooks {
+  std::function<void(std::size_t job)> on_job_start;
+};
+
 /// Compiles independent sources, farming the jobs across a pool sized by
 /// opts.parallel. Results arrive in input order and job i depends only on
 /// sources[i] and opts, so the batch is byte-identical for every thread
@@ -147,7 +159,15 @@ Compiled compile_mc(const std::string& source, const PipelineOptions& opts,
 /// returns — no detached worker ever outlives the batch.
 std::vector<CompileResult> compile_batch(
     const std::vector<std::string>& sources, const PipelineOptions& opts,
-    const support::CancelToken* cancel = nullptr);
+    const support::CancelToken* cancel = nullptr,
+    const BatchHooks* hooks = nullptr);
+
+/// Order-independent FNV-1a fingerprint of a compiled artifact: the final
+/// LIW text plus the placement, removals and tier. Two Compiled results
+/// with equal fingerprints serialize to the same program — the service's
+/// result cache stores this next to each response so a warm-restart hit
+/// can be integrity-checked against the bytes it is about to serve.
+std::uint64_t compiled_fingerprint(const Compiled& compiled);
 
 /// Convenience: run the compiled program and its sequential reference,
 /// checking that their outputs agree (throws InternalError on divergence).

@@ -55,6 +55,12 @@ std::uint64_t parse_number(const Tok& tok, std::string_view name,
 
 AccessStream parse_stream(std::string_view text,
                           std::string_view source_name) {
+  return parse_stream(text, source_name, kMaxValueCount);
+}
+
+AccessStream parse_stream(std::string_view text, std::string_view source_name,
+                          std::uint64_t max_value_count) {
+  const std::uint64_t cap = std::min(max_value_count, kMaxValueCount);
   AccessStream s;
   bool header_seen = false;
   std::size_t line_no = 0;
@@ -94,10 +100,10 @@ AccessStream parse_stream(std::string_view text,
       }
       header_seen = true;
       const std::uint64_t n = parse_number(toks[1], source_name, line_no);
-      if (n > kMaxValueCount) {
+      if (n > cap) {
         io_error(source_name, line_no, toks[1].col,
                  "value_count " + std::to_string(n) + " exceeds the limit " +
-                     std::to_string(kMaxValueCount));
+                     std::to_string(cap));
       }
       s.value_count = static_cast<std::size_t>(n);
       s.duplicatable.assign(s.value_count, true);

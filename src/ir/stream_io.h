@@ -33,6 +33,14 @@ namespace parmem::ir {
 AccessStream parse_stream(std::string_view text,
                           std::string_view source_name = "<stream>");
 
+/// As above with a caller-supplied `stream <n>` header cap (clamped to the
+/// built-in hard limit). The compile service uses this at admission time:
+/// a framed stream request is rejected as a UserError — before any large
+/// allocation — when its declared value count exceeds the service's
+/// configured bound.
+AccessStream parse_stream(std::string_view text, std::string_view source_name,
+                          std::uint64_t max_value_count);
+
 /// Serializes a stream; parse_stream(format_stream(s)) reproduces s.
 std::string format_stream(const AccessStream& stream);
 

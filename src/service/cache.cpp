@@ -1,0 +1,144 @@
+#include "service/cache.h"
+
+#include <cstdio>
+
+#include "service/request.h"
+#include "support/file_io.h"
+
+namespace parmem::service {
+namespace {
+
+/// Journal entry layout: "parmem-cache 1 <len> <16-hex-checksum>\n" +
+/// payload. The checksum is fnv1a64 of the payload bytes.
+std::string encode_entry(std::string_view payload) {
+  char head[64];
+  std::snprintf(head, sizeof head, "parmem-cache 1 %zu %016llx\n",
+                payload.size(),
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  std::string out(head);
+  out.append(payload);
+  return out;
+}
+
+/// Validates and strips the entry header. nullopt on any mismatch.
+std::optional<std::string> decode_entry(const std::string& bytes) {
+  const std::size_t nl = bytes.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  std::size_t len = 0;
+  unsigned long long sum = 0;
+  char tag[16] = {};
+  if (std::sscanf(bytes.c_str(), "parmem-cache %15s %zu %llx", tag, &len,
+                  &sum) != 3 ||
+      std::string_view(tag) != "1") {
+    return std::nullopt;
+  }
+  if (bytes.size() - nl - 1 != len) return std::nullopt;
+  std::string payload = bytes.substr(nl + 1);
+  if (fnv1a64(payload) != sum) return std::nullopt;
+  return payload;
+}
+
+std::optional<std::uint64_t> key_of_filename(const std::string& name) {
+  if (name.size() != 20 || name.substr(16) != ".res") return std::nullopt;
+  std::uint64_t key = 0;
+  for (const char ch : name.substr(0, 16)) {
+    std::uint64_t d;
+    if (ch >= '0' && ch <= '9') d = static_cast<std::uint64_t>(ch - '0');
+    else if (ch >= 'a' && ch <= 'f') d = static_cast<std::uint64_t>(ch - 'a') + 10;
+    else return std::nullopt;
+    key = (key << 4) | d;
+  }
+  return key;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    if (support::ensure_directory(dir_)) {
+      load_journal();
+    } else {
+      // An unusable cache dir degrades to memory-only — the service must
+      // keep serving; persistence failures show up in stats().
+      ++stats_.load_errors;
+      dir_.clear();
+    }
+  }
+}
+
+void ResultCache::load_journal() {
+  for (const std::string& name : support::list_directory(dir_)) {
+    const auto key = key_of_filename(name);
+    if (!key.has_value()) {
+      // `.tmp-*` orphans from a killed store, or foreign files: skip (and
+      // count, so the soak test can assert the crash left debris behind
+      // rather than a torn entry).
+      ++stats_.load_errors;
+      continue;
+    }
+    const auto bytes = support::read_file(dir_ + "/" + name);
+    if (!bytes.has_value()) {
+      ++stats_.load_errors;
+      continue;
+    }
+    auto payload = decode_entry(*bytes);
+    if (!payload.has_value()) {
+      ++stats_.load_errors;
+      continue;
+    }
+    entries_.emplace(*key, std::move(*payload));
+    ++stats_.loaded;
+  }
+}
+
+std::string ResultCache::entry_path(std::uint64_t key) const {
+  if (dir_.empty()) return "";
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.res",
+                static_cast<unsigned long long>(key));
+  return dir_ + "/" + name;
+}
+
+std::optional<std::string> ResultCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void ResultCache::store(std::uint64_t key, std::string_view cached_part) {
+  std::string persist_path;
+  std::string persist_bytes;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto [it, inserted] =
+        entries_.emplace(key, std::string(cached_part));
+    if (!inserted) return;  // first writer wins
+    ++stats_.stores;
+    if (!dir_.empty()) {
+      persist_path = entry_path(key);
+      persist_bytes = encode_entry(it->second);
+    }
+  }
+  if (!persist_path.empty() &&
+      !support::write_file_atomic(persist_path, persist_bytes)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.store_errors;
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace parmem::service

@@ -1,0 +1,75 @@
+// Crash-safe, content-addressed result cache for the compile service.
+//
+// Key = request cache_key() (FNV-1a over the canonical request encoding
+// with the id zeroed); value = the response's cacheable part (request.h) —
+// the bytes after the id line, so a hit replays byte-identically under any
+// request id.
+//
+// Persistence is a one-file-per-entry journal under `dir`:
+//
+//   <dir>/<16-hex-key>.res
+//
+// written via support::write_file_atomic (write temp sibling, fsync,
+// rename). Each file carries a one-line header with the payload length and
+// FNV-1a checksum, so a warm restart loads exactly the entries that were
+// fully published: a daemon killed mid-store leaves either no file or a
+// `.tmp-*` orphan, both ignored on reload — never a torn entry. Corrupt or
+// mis-named files are skipped (counted in Stats::load_errors), not fatal:
+// the cache is an accelerator, and a damaged journal must degrade to a
+// cold start, not a crashed daemon.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace parmem::service {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t store_errors = 0;  // persist failures (entry stays in RAM)
+    std::uint64_t loaded = 0;        // entries recovered at construction
+    std::uint64_t load_errors = 0;   // corrupt/orphaned files skipped
+  };
+
+  /// Memory-only cache when `dir` is empty; otherwise creates `dir` as
+  /// needed and warm-loads every valid journal entry.
+  explicit ResultCache(std::string dir = "");
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached response part, or nullopt. Thread-safe.
+  std::optional<std::string> lookup(std::uint64_t key);
+
+  /// First-writer-wins insert (a key is only ever stored with one value —
+  /// re-serving must stay byte-identical, so later results for the same
+  /// key are dropped). Persists to the journal when a dir is configured;
+  /// a persist failure keeps the in-memory entry and counts store_errors.
+  void store(std::uint64_t key, std::string_view cached_part);
+
+  std::size_t size() const;
+  const std::string& dir() const { return dir_; }
+  Stats stats() const;
+
+  /// Journal path for `key` ("" for a memory-only cache). Exposed for the
+  /// warm-restart tests.
+  std::string entry_path(std::uint64_t key) const;
+
+ private:
+  void load_journal();
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::string> entries_;
+  Stats stats_;
+};
+
+}  // namespace parmem::service

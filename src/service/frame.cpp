@@ -1,0 +1,144 @@
+#include "service/frame.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "support/diagnostics.h"
+
+namespace parmem::service {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;
+
+void put_u32le(char* out, std::uint32_t v) {
+  out[0] = static_cast<char>(v & 0xFF);
+  out[1] = static_cast<char>((v >> 8) & 0xFF);
+  out[2] = static_cast<char>((v >> 16) & 0xFF);
+  out[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+std::uint32_t get_u32le(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+/// Reads exactly `n` bytes. Returns the count actually read (< n only on
+/// EOF), so the caller can distinguish boundary EOF from truncation.
+std::size_t read_exact(ByteStream& in, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t r = in.read_some(buf + got, n - got);
+    if (r == 0) break;
+    got += r;
+  }
+  return got;
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw support::UserError(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the limit " + std::to_string(kMaxFramePayload));
+  }
+  std::string out;
+  out.resize(kHeaderBytes + payload.size());
+  put_u32le(out.data(), kFrameMagic);
+  put_u32le(out.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  std::memcpy(out.data() + kHeaderBytes, payload.data(), payload.size());
+  return out;
+}
+
+void write_frame(ByteStream& out, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  out.write_all(frame.data(), frame.size());
+}
+
+bool read_frame(ByteStream& in, std::string& payload) {
+  char header[kHeaderBytes];
+  const std::size_t got = read_exact(in, header, kHeaderBytes);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < kHeaderBytes) {
+    throw support::UserError("truncated frame header (" + std::to_string(got) +
+                             " of " + std::to_string(kHeaderBytes) +
+                             " bytes before EOF)");
+  }
+  const std::uint32_t magic = get_u32le(header);
+  if (magic != kFrameMagic) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%08X", magic);
+    throw support::UserError(std::string("bad frame magic ") + buf +
+                             " (expected \"PMF1\")");
+  }
+  const std::uint32_t len = get_u32le(header + 4);
+  if (len > kMaxFramePayload) {
+    throw support::UserError("declared frame payload of " +
+                             std::to_string(len) + " bytes exceeds the limit " +
+                             std::to_string(kMaxFramePayload));
+  }
+  payload.resize(len);
+  const std::size_t body = read_exact(in, payload.data(), len);
+  if (body < len) {
+    throw support::UserError("truncated frame payload (" +
+                             std::to_string(body) + " of " +
+                             std::to_string(len) + " bytes before EOF)");
+  }
+  return true;
+}
+
+std::size_t MemoryStream::read_some(char* buf, std::size_t n) {
+  const std::size_t avail = input_.size() - pos_;
+  const std::size_t take = n < avail ? n : avail;
+  std::memcpy(buf, input_.data() + pos_, take);
+  pos_ += take;
+  return take;
+}
+
+void MemoryStream::write_all(const char* buf, std::size_t n) {
+  output_.append(buf, n);
+}
+
+std::size_t FdStream::read_some(char* buf, std::size_t n) {
+  for (;;) {
+    if (interrupt_fd_ >= 0) {
+      pollfd fds[2] = {{read_fd_, POLLIN, 0}, {interrupt_fd_, POLLIN, 0}};
+      const int rc = ::poll(fds, 2, -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw support::UserError(std::string("poll failed: ") +
+                                 std::strerror(errno));
+      }
+      if ((fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        return 0;  // shutdown requested: report EOF, drain gracefully
+      }
+      if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    }
+    const ssize_t r = ::read(read_fd_, buf, n);
+    if (r >= 0) return static_cast<std::size_t>(r);
+    if (errno == EINTR) continue;
+    throw support::UserError(std::string("read failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+void FdStream::write_all(const char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(write_fd_, buf + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw support::UserError(std::string("write failed: ") +
+                               std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace parmem::service

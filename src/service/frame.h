@@ -1,0 +1,96 @@
+// Length-framed byte transport for the compile service (`parmemd`).
+//
+// One frame = an 8-byte header — 4-byte magic "PMF1", 4-byte little-endian
+// payload length — followed by exactly that many payload bytes. The payload
+// is opaque here (request.h defines the request/response payloads); the
+// frame layer's whole job is to turn an untrusted byte stream into discrete
+// payloads without ever crashing, hanging, or allocating unboundedly:
+//
+//   * a declared length above kMaxFramePayload is rejected *before* any
+//     allocation (a hostile 4 GiB header costs nothing);
+//   * EOF exactly on a frame boundary is the clean end-of-stream signal;
+//   * EOF anywhere inside a frame (truncated header or payload) and a bad
+//     magic are support::UserError — typed, catchable, never UB.
+//
+// ByteStream abstracts the transport: FdStream serves pipes and unix
+// sockets (EINTR-safe, with an optional interrupt fd so SIGTERM can unblock
+// a pending read), MemoryStream backs the in-process tests and fuzz corpus.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace parmem::service {
+
+/// Duplex byte stream the frame layer reads/writes. Implementations throw
+/// support::UserError on transport failure.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Reads up to `n` bytes into `buf`; returns the count read (>= 1), or 0
+  /// on end-of-stream. Blocks until at least one byte or EOF.
+  virtual std::size_t read_some(char* buf, std::size_t n) = 0;
+
+  /// Writes all `n` bytes (short writes are retried internally).
+  virtual void write_all(const char* buf, std::size_t n) = 0;
+};
+
+/// "PMF1" in little-endian byte order.
+inline constexpr std::uint32_t kFrameMagic = 0x31464D50u;
+
+/// Hard cap on a single payload (64 MiB) — checked against the declared
+/// length before the payload buffer is allocated.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;
+
+/// Serializes one frame (header + payload). Throws support::UserError when
+/// `payload` exceeds kMaxFramePayload.
+std::string encode_frame(std::string_view payload);
+
+/// Writes one frame to `out`.
+void write_frame(ByteStream& out, std::string_view payload);
+
+/// Reads one frame from `in` into `payload`. Returns false on a clean EOF
+/// at a frame boundary (payload untouched); throws support::UserError on a
+/// bad magic, an oversize declared length, or EOF mid-frame.
+bool read_frame(ByteStream& in, std::string& payload);
+
+/// In-memory ByteStream: reads consume `input`, writes append to output().
+/// The fuzz tests feed it arbitrary byte strings.
+class MemoryStream : public ByteStream {
+ public:
+  explicit MemoryStream(std::string input = "") : input_(std::move(input)) {}
+
+  std::size_t read_some(char* buf, std::size_t n) override;
+  void write_all(const char* buf, std::size_t n) override;
+
+  const std::string& output() const { return output_; }
+
+ private:
+  std::string input_;
+  std::size_t pos_ = 0;
+  std::string output_;
+};
+
+/// File-descriptor ByteStream for pipes and sockets. Does not own the fds.
+/// When `interrupt_fd` >= 0, a pending read also waits on it; the moment it
+/// becomes readable the stream reports EOF — parmemd points it at the
+/// SIGTERM self-pipe so shutdown unblocks the frame loop and flows through
+/// the ordinary graceful-drain path.
+class FdStream : public ByteStream {
+ public:
+  FdStream(int read_fd, int write_fd, int interrupt_fd = -1)
+      : read_fd_(read_fd), write_fd_(write_fd), interrupt_fd_(interrupt_fd) {}
+
+  std::size_t read_some(char* buf, std::size_t n) override;
+  void write_all(const char* buf, std::size_t n) override;
+
+ private:
+  int read_fd_;
+  int write_fd_;
+  int interrupt_fd_;
+};
+
+}  // namespace parmem::service

@@ -1,0 +1,37 @@
+#include "service/retry.h"
+
+#include "support/rng.h"
+
+namespace parmem::service {
+
+const char* failure_class_name(FailureClass c) {
+  switch (c) {
+    case FailureClass::kPermanent: return "permanent";
+    case FailureClass::kTransient: return "transient";
+  }
+  return "?";
+}
+
+std::uint64_t retry_backoff_ms(const RetryPolicy& policy,
+                               std::uint32_t attempt, std::uint64_t seed) {
+  return support::backoff_with_jitter_ms(policy.base_backoff_ms,
+                                         policy.max_backoff_ms, attempt, seed);
+}
+
+bool should_retry(const RetryPolicy& policy, FailureClass failure,
+                  std::uint32_t attempts_done) {
+  return failure == FailureClass::kTransient &&
+         attempts_done < policy.max_attempts;
+}
+
+bool degraded_has_headroom(const RetryPolicy& policy,
+                           std::uint64_t remaining_ms,
+                           std::uint32_t attempts_done, std::uint64_t seed) {
+  if (remaining_ms == ~std::uint64_t{0}) return true;  // no deadline
+  // Worst-case backoff (jitter never exceeds the deterministic delay).
+  const std::uint64_t backoff =
+      retry_backoff_ms(policy, attempts_done, seed);
+  return remaining_ms > backoff + policy.min_headroom_ms;
+}
+
+}  // namespace parmem::service

@@ -1,0 +1,58 @@
+// Retry policy for compile attempts: what is worth retrying, and when.
+//
+// The state machine (DESIGN.md §12): every admitted request runs attempts
+// until it reaches exactly one terminal status. An attempt's outcome is
+// classified as
+//
+//   kPermanent   — retrying cannot help: malformed input (UserError), a
+//                  degradation the request asked for itself (its own
+//                  max_steps budget), or a full-effort success;
+//   kTransient   — a retry may succeed: injected/real timeouts that left
+//                  wall-clock headroom, bad_alloc, internal faults,
+//                  watchdog cancellation.
+//
+// Transient failures retry with capped exponential backoff and
+// deterministic jitter (support::backoff_with_jitter_ms seeded by the
+// request's cache key, so a given request follows the same schedule every
+// run). When attempts run out, the worker escalates to a degraded-tier
+// re-submit — one final attempt under a max_steps=1 budget, which trips
+// immediately and completes on the cheapest ladder tier — so even a
+// persistently faulting request still ends in a terminal response.
+#pragma once
+
+#include <cstdint>
+
+namespace parmem::service {
+
+enum class FailureClass : std::uint8_t { kPermanent, kTransient };
+const char* failure_class_name(FailureClass c);
+
+struct RetryPolicy {
+  /// Total compile attempts per request, the first included (the
+  /// degraded-tier parking attempt is extra and never retried).
+  std::uint32_t max_attempts = 3;
+  std::uint64_t base_backoff_ms = 10;
+  std::uint64_t max_backoff_ms = 250;
+  /// Minimum wall-clock slack (beyond the next backoff) a deadline must
+  /// still have for a degraded result to be worth retrying.
+  std::uint64_t min_headroom_ms = 10;
+};
+
+/// Backoff before retry number `attempt` (1-based: the wait after the
+/// first failed attempt). Deterministic in (policy, attempt, seed).
+std::uint64_t retry_backoff_ms(const RetryPolicy& policy,
+                               std::uint32_t attempt, std::uint64_t seed);
+
+/// True when another attempt is allowed: the failure is transient and
+/// `attempts_done` (completed attempts) is below max_attempts.
+bool should_retry(const RetryPolicy& policy, FailureClass failure,
+                  std::uint32_t attempts_done);
+
+/// The "budget exhaustion with headroom" test: a degraded result is worth
+/// retrying only if, after the backoff, the request's deadline would still
+/// have min_headroom_ms left. `remaining_ms` is the wall-clock time to the
+/// request deadline (UINT64_MAX when the request has none).
+bool degraded_has_headroom(const RetryPolicy& policy, std::uint64_t remaining_ms,
+                           std::uint32_t attempts_done, std::uint64_t seed);
+
+}  // namespace parmem::service

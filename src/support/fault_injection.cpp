@@ -16,6 +16,7 @@ const char* fault_kind_name(FaultKind k) {
 
 #if PARMEM_FAULT_INJECTION_ENABLED
 
+#include <algorithm>
 #include <new>
 
 #include "support/budget.h"
@@ -28,8 +29,42 @@ FaultInjector& FaultInjector::instance() {
   return injector;
 }
 
+const std::vector<std::string>& FaultInjector::known_sites() {
+  // Kept in sync with every PARMEM_FAULT_POINT literal in the tree; the
+  // FaultSweep recording test cross-checks that each site it discovers is
+  // listed here. Sorted for stable diagnostics.
+  static const std::vector<std::string> sites = {
+      "assign.backtrack",
+      "assign.color_atom",
+      "assign.duplicate",
+      "assign.exact",
+      "assign.hitting_set",
+      "assign.pass",
+      "pipeline.assign",
+      "pipeline.parse",
+      "pipeline.schedule",
+      "pipeline.verify",
+      "pool.task",
+      "service.admit",
+      "service.cache_load",
+      "service.cache_store",
+      "service.respond",
+      "service.worker",
+  };
+  return sites;
+}
+
 void FaultInjector::arm(const std::string& site, FaultKind kind,
                         std::uint64_t on_hit) {
+  const bool test_scratch = site.rfind("test.", 0) == 0;
+  if (!test_scratch) {
+    const auto& known = known_sites();
+    if (!std::binary_search(known.begin(), known.end(), site)) {
+      throw UserError("unknown fault-injection site '" + site +
+                      "' (see FaultInjector::known_sites(); the 'test.' "
+                      "prefix is reserved for unit tests)");
+    }
+  }
   std::lock_guard<std::mutex> lk(mu_);
   armed_[site] = Plan{kind, on_hit == 0 ? 1 : on_hit};
   hits_[site] = 0;

@@ -54,8 +54,17 @@ class FaultInjector {
  public:
   static FaultInjector& instance();
 
+  /// Every PARMEM_FAULT_POINT site name compiled into the library, sorted.
+  /// This is the canonical registry arm() validates against — a typo'd site
+  /// in a test's arm spec used to be silently inert; now it is rejected.
+  /// Names under the reserved "test." prefix are always accepted (the unit
+  /// tests' scratch namespace).
+  static const std::vector<std::string>& known_sites();
+
   /// Arms `site` to fire `kind` on its `on_hit`-th execution (1-based)
   /// counted from the last reset(). Re-arming a site replaces its plan.
+  /// Throws support::UserError when `site` is not in known_sites() and not
+  /// under the "test." prefix.
   void arm(const std::string& site, FaultKind kind, std::uint64_t on_hit = 1);
 
   /// Disarms everything and zeroes all hit counters (recording mode and the

@@ -1,0 +1,78 @@
+#include "support/file_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace parmem::support {
+
+bool write_file_atomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp-" + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  // Flush file content to stable storage before publishing the name, so a
+  // crash between rename and writeback cannot surface a truncated entry.
+  {
+    FILE* f = std::fopen(tmp.c_str(), "rb");
+    if (f != nullptr) {
+      ::fsync(::fileno(f));
+      std::fclose(f);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return ss.str();
+}
+
+bool ensure_directory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return std::filesystem::is_directory(dir, ec);
+}
+
+std::vector<std::string> list_directory(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool remove_file(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  return !std::filesystem::exists(path, ec);
+}
+
+}  // namespace parmem::support

@@ -6,6 +6,7 @@
 // part of every experiment's configuration.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "support/diagnostics.h"
@@ -63,5 +64,28 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+/// Capped exponential backoff with deterministic jitter — the service
+/// layer's retry schedule. The base delay doubles per attempt (attempt is
+/// 1-based: attempt 1 waits ~base_ms) and saturates at cap_ms; the jitter
+/// draw scales the delay uniformly into [delay/2, delay], seeded by
+/// (seed, attempt) so a given request retries on the same schedule in every
+/// run while distinct requests decorrelate instead of thundering back
+/// together.
+inline std::uint64_t backoff_with_jitter_ms(std::uint64_t base_ms,
+                                            std::uint64_t cap_ms,
+                                            std::uint32_t attempt,
+                                            std::uint64_t seed) {
+  if (base_ms == 0) return 0;
+  PARMEM_CHECK(attempt > 0, "backoff attempts are 1-based");
+  std::uint64_t delay = base_ms;
+  for (std::uint32_t i = 1; i < attempt && delay < cap_ms; ++i) {
+    delay = delay > cap_ms / 2 ? cap_ms : delay * 2;
+  }
+  delay = std::min(delay, cap_ms);
+  SplitMix64 rng(seed ^ (0x9e3779b97f4a7c15ULL * (attempt + 1)));
+  const std::uint64_t half = delay / 2;
+  return delay - half + (half != 0 ? rng.below(half + 1) : 0);
+}
 
 }  // namespace parmem::support

@@ -14,6 +14,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <thread>
@@ -320,12 +322,29 @@ TEST(Robustness, BatchMidFlightCancellationDrainsCleanly) {
   opts.parallel.threads = 2;
   opts.unroll.max_trip = 8;
 
+  // Deterministic handshake instead of a timed sleep: the canceller waits
+  // until a job provably reports in-flight (BatchHooks::on_job_start), then
+  // cancels — the cancel always lands mid-batch, never before the first job
+  // or after the last.
   support::CancelToken token;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  BatchHooks hooks;
+  hooks.on_job_start = [&](std::size_t) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (!started) {
+      started = true;
+      cv.notify_all();
+    }
+  };
   std::thread canceller([&] {
-    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return started; });
     token.cancel();
   });
-  const std::vector<CompileResult> got = compile_batch(sources, opts, &token);
+  const std::vector<CompileResult> got =
+      compile_batch(sources, opts, &token, &hooks);
   canceller.join();
 
   ASSERT_EQ(got.size(), sources.size());
@@ -396,6 +415,16 @@ TEST_F(FaultSweep, RecordingDiscoversTheTaggedSites) {
 
   const auto pooled = discover_sites(2);
   EXPECT_TRUE(has(pooled, "pool.task"));
+
+  // Registry sync: every site the pipeline actually fires must be listed in
+  // known_sites(), or arming it (as the sweeps below do) would be rejected.
+  const auto& known = support::FaultInjector::known_sites();
+  for (const auto& sites : {serial, pooled}) {
+    for (const std::string& site : sites) {
+      EXPECT_TRUE(std::binary_search(known.begin(), known.end(), site))
+          << "fired site '" << site << "' missing from known_sites()";
+    }
+  }
 }
 
 TEST_F(FaultSweep, TimeoutAtEverySiteDegradesButCompletes) {

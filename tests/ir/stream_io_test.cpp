@@ -76,5 +76,28 @@ TEST(StreamIo, ErrorsCarryLineNumbers) {
   }
 }
 
+TEST(StreamIo, AdmissionCapRejectsOversizeHeaderBeforeParsing) {
+  // The service-facing overload bounds the declared value count at
+  // admission time -- a hostile header is a UserError before any
+  // per-value allocation happens.
+  const char* text = "stream 1000\ntuple 0 1\n";
+  EXPECT_NO_THROW(parse_stream(text, "<test>", 1000));
+  EXPECT_THROW(parse_stream(text, "<test>", 999), support::UserError);
+  try {
+    parse_stream("stream 4294967295\ntuple 0 1\n", "<cap>", 1 << 20);
+    FAIL() << "expected a parse error";
+  } catch (const support::UserError& e) {
+    EXPECT_NE(std::string(e.what()).find("<cap>"), std::string::npos);
+  }
+}
+
+TEST(StreamIo, AdmissionCapNeverExceedsTheBuiltInLimit) {
+  // A caller-supplied cap is clamped to the built-in hard limit, never
+  // raised above it.
+  EXPECT_THROW(parse_stream("stream 4000000000\ntuple 0 1\n", "<test>",
+                            ~std::uint64_t{0}),
+               support::UserError);
+}
+
 }  // namespace
 }  // namespace parmem::ir

@@ -1,0 +1,155 @@
+// Result-cache semantics (cache.h): first-writer-wins byte-identical
+// re-serving, the atomic-rename journal, warm-restart recovery, and
+// tolerance of every kind of on-disk damage (corrupt entries, temp-file
+// orphans, an unusable directory).
+#include "service/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "service/request.h"
+#include "support/file_io.h"
+
+namespace parmem::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("parmem_cache_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_str() const { return dir_.string(); }
+  fs::path dir_;
+};
+
+TEST_F(CacheTest, MemoryOnlyStoreAndLookup) {
+  ResultCache cache;  // no dir
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  cache.store(1, "payload-one");
+  EXPECT_EQ(cache.lookup(1).value(), "payload-one");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.entry_path(1).empty());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST_F(CacheTest, FirstWriterWins) {
+  ResultCache cache;
+  cache.store(5, "original");
+  cache.store(5, "imposter");
+  // Byte-identical re-serving: a key is only ever bound to one value.
+  EXPECT_EQ(cache.lookup(5).value(), "original");
+  EXPECT_EQ(cache.stats().stores, 1u);
+}
+
+TEST_F(CacheTest, JournalSurvivesARestart) {
+  const std::string payload = "status ok\ndiag 0\n\nbody 3\nabc\n";
+  {
+    ResultCache cache(dir_str());
+    cache.store(0xabcdefULL, payload);
+    cache.store(0x123456ULL, "second entry");
+    EXPECT_TRUE(fs::exists(cache.entry_path(0xabcdefULL)));
+  }
+  // A fresh cache over the same directory warm-loads both entries and
+  // serves the exact bytes.
+  ResultCache warm(dir_str());
+  EXPECT_EQ(warm.stats().loaded, 2u);
+  EXPECT_EQ(warm.stats().load_errors, 0u);
+  EXPECT_EQ(warm.lookup(0xabcdefULL).value(), payload);
+  EXPECT_EQ(warm.lookup(0x123456ULL).value(), "second entry");
+}
+
+TEST_F(CacheTest, CorruptEntriesAreSkippedNotFatal) {
+  {
+    ResultCache cache(dir_str());
+    cache.store(1, "good");
+  }
+  // Damage a valid-looking sibling: right name shape, garbage content.
+  std::ofstream(dir_ / "00000000000000ff.res") << "not a journal entry";
+  // And a checksum mismatch: valid header, flipped payload byte.
+  {
+    ResultCache probe(dir_str());
+    const std::string path = probe.entry_path(2);
+    probe.store(2, "tamper-me");
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('X');
+  }
+
+  ResultCache warm(dir_str());
+  EXPECT_EQ(warm.lookup(1).value(), "good");
+  EXPECT_FALSE(warm.lookup(0xffULL).has_value());
+  EXPECT_FALSE(warm.lookup(2).has_value());
+  EXPECT_EQ(warm.stats().loaded, 1u);
+  EXPECT_EQ(warm.stats().load_errors, 2u);
+}
+
+TEST_F(CacheTest, TempOrphansFromAKilledStoreAreIgnored) {
+  {
+    ResultCache cache(dir_str());
+    cache.store(1, "published");
+  }
+  // Simulate a daemon killed between temp-write and rename.
+  std::ofstream(dir_ / "0000000000000001.res.tmp-12345") << "torn write";
+
+  ResultCache warm(dir_str());
+  EXPECT_EQ(warm.stats().loaded, 1u);
+  EXPECT_EQ(warm.stats().load_errors, 1u);  // the orphan, counted not fatal
+  EXPECT_EQ(warm.lookup(1).value(), "published");
+}
+
+TEST_F(CacheTest, UnusableDirectoryDegradesToMemoryOnly) {
+  // Point the journal at a path that is a regular file.
+  std::ofstream blocker(dir_str());
+  blocker << "not a directory";
+  blocker.close();
+
+  ResultCache cache(dir_str());
+  EXPECT_TRUE(cache.dir().empty());  // degraded
+  EXPECT_GE(cache.stats().load_errors, 1u);
+  // Still fully functional in memory.
+  cache.store(9, "ram only");
+  EXPECT_EQ(cache.lookup(9).value(), "ram only");
+  fs::remove(dir_str());
+}
+
+TEST_F(CacheTest, EntryPathUsesSixteenHexDigits) {
+  ResultCache cache(dir_str());
+  const std::string path = cache.entry_path(0x1a2bULL);
+  EXPECT_NE(path.find("0000000000001a2b.res"), std::string::npos);
+}
+
+TEST_F(CacheTest, AtomicWriteHelperPublishesAllOrNothing) {
+  // The underlying primitive: write_file_atomic leaves either the complete
+  // new content or nothing — never a partial file under the final name.
+  support::ensure_directory(dir_str());
+  const std::string path = (dir_ / "artifact.bin").string();
+  EXPECT_TRUE(support::write_file_atomic(path, "v1"));
+  EXPECT_EQ(support::read_file(path).value(), "v1");
+  EXPECT_TRUE(support::write_file_atomic(path, "version-two"));
+  EXPECT_EQ(support::read_file(path).value(), "version-two");
+  // No temp debris left behind after successful publishes.
+  std::size_t files = 0;
+  for (const std::string& name : support::list_directory(dir_str())) {
+    EXPECT_EQ(name.find(".tmp-"), std::string::npos) << name;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+}  // namespace
+}  // namespace parmem::service

@@ -1,0 +1,175 @@
+// The frame layer's contract (frame.h): round-trip any payload size
+// (including 0 and >64 KiB), reject every malformed byte stream with a
+// typed UserError — never a crash, a hang, or an unbounded allocation —
+// and report clean EOF only on an exact frame boundary.
+#include "service/frame.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "support/rng.h"
+
+namespace parmem::service {
+namespace {
+
+std::string random_payload(std::size_t n, std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  std::string s(n, '\0');
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<char>(rng.below(256));
+  }
+  return s;
+}
+
+TEST(Frame, RoundTripsEveryPayloadSizeClass) {
+  // 0, tiny, header-ish sizes, and well past 64 KiB.
+  const std::size_t sizes[] = {0,  1,    2,     7,     8,
+                               9,  1000, 65535, 65536, 65537,
+                               200000};
+  for (const std::size_t n : sizes) {
+    SCOPED_TRACE(n);
+    const std::string payload = random_payload(n, n + 1);
+    MemoryStream out;
+    write_frame(out, payload);
+    EXPECT_EQ(out.output().size(), n + 8);
+
+    MemoryStream in(out.output());
+    std::string got;
+    ASSERT_TRUE(read_frame(in, got));
+    EXPECT_EQ(got, payload);
+    // And the stream is now at a clean boundary.
+    EXPECT_FALSE(read_frame(in, got));
+  }
+}
+
+TEST(Frame, MultipleFramesReadBackInOrder) {
+  std::vector<std::string> payloads;
+  MemoryStream out;
+  for (std::size_t i = 0; i < 16; ++i) {
+    payloads.push_back(random_payload(i * 37, i));
+    write_frame(out, payloads.back());
+  }
+  MemoryStream in(out.output());
+  std::string got;
+  for (std::size_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(read_frame(in, got)) << "frame " << i;
+    EXPECT_EQ(got, payloads[i]) << "frame " << i;
+  }
+  EXPECT_FALSE(read_frame(in, got));
+}
+
+TEST(Frame, HeaderLayoutIsMagicThenLittleEndianLength) {
+  MemoryStream out;
+  write_frame(out, "abc");
+  const std::string& bytes = out.output();
+  ASSERT_EQ(bytes.size(), 11u);
+  EXPECT_EQ(bytes.substr(0, 4), "PMF1");
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 3u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[5]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[6]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[7]), 0u);
+  EXPECT_EQ(bytes.substr(8), "abc");
+}
+
+TEST(Frame, EncodeRejectsOversizePayload) {
+  const std::string big(kMaxFramePayload + 1, 'x');
+  EXPECT_THROW(encode_frame(big), support::UserError);
+}
+
+// The malformed-frame corpus: every entry must produce UserError (not a
+// crash, not a hang, not a clean EOF).
+TEST(Frame, MalformedStreamsAreTypedErrors) {
+  const std::string valid = encode_frame("hello");
+  std::vector<std::pair<const char*, std::string>> corpus;
+  // Truncated header: every strict prefix of a valid frame's first 8 bytes.
+  for (std::size_t n = 1; n < 8; ++n) {
+    corpus.emplace_back("truncated header", valid.substr(0, n));
+  }
+  // Truncated payload: header promises 5 bytes, stream ends early.
+  corpus.emplace_back("truncated payload", valid.substr(0, 10));
+  // Bad magic.
+  {
+    std::string bad = valid;
+    bad[0] = 'Q';
+    corpus.emplace_back("bad magic", bad);
+  }
+  // Oversize declared length (4 GiB-ish) — must be rejected before any
+  // allocation.
+  {
+    std::string bad = "PMF1";
+    bad += std::string("\xff\xff\xff\xff", 4);
+    corpus.emplace_back("oversize length", bad);
+  }
+  // Garbage bytes.
+  corpus.emplace_back("garbage", random_payload(64, 0xbad));
+  // Valid frame followed by garbage: the second read must fail cleanly.
+  corpus.emplace_back("valid then garbage", valid + "garbage!");
+
+  for (const auto& [what, bytes] : corpus) {
+    SCOPED_TRACE(what);
+    MemoryStream in(bytes);
+    std::string payload;
+    bool first_ok = false;
+    try {
+      first_ok = read_frame(in, payload);
+      if (first_ok) {
+        // Only the "valid then garbage" case gets here; the next read must
+        // throw.
+        EXPECT_EQ(payload, "hello");
+        EXPECT_THROW(read_frame(in, payload), support::UserError);
+        continue;
+      }
+      FAIL() << "malformed input reported clean EOF";
+    } catch (const support::UserError&) {
+      // expected
+    }
+  }
+}
+
+TEST(Frame, EmptyStreamIsCleanEof) {
+  MemoryStream in("");
+  std::string payload = "sentinel";
+  EXPECT_FALSE(read_frame(in, payload));
+  EXPECT_EQ(payload, "sentinel");  // untouched on EOF
+}
+
+TEST(FdStreamTest, RoundTripsOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  {
+    FdStream writer(-1, fds[1]);
+    write_frame(writer, "over the pipe");
+  }
+  ::close(fds[1]);  // EOF after the one frame
+  FdStream reader(fds[0], -1);
+  std::string payload;
+  ASSERT_TRUE(read_frame(reader, payload));
+  EXPECT_EQ(payload, "over the pipe");
+  EXPECT_FALSE(read_frame(reader, payload));
+  ::close(fds[0]);
+}
+
+TEST(FdStreamTest, InterruptFdUnblocksAsCleanEof) {
+  // The SIGTERM self-pipe pattern: a readable interrupt fd makes a pending
+  // read report EOF so the daemon's frame loop falls into graceful drain.
+  int data[2], interrupt[2];
+  ASSERT_EQ(::pipe(data), 0);
+  ASSERT_EQ(::pipe(interrupt), 0);
+  const char byte = 1;
+  ASSERT_EQ(::write(interrupt[1], &byte, 1), 1);
+
+  FdStream reader(data[0], -1, interrupt[0]);
+  std::string payload;
+  EXPECT_FALSE(read_frame(reader, payload));  // no data ever written
+
+  for (const int fd : {data[0], data[1], interrupt[0], interrupt[1]}) {
+    ::close(fd);
+  }
+}
+
+}  // namespace
+}  // namespace parmem::service

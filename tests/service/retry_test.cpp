@@ -1,0 +1,96 @@
+// Retry policy (retry.h): transient-only retries bounded by max_attempts,
+// deterministic capped backoff, and the degraded-headroom gate that decides
+// whether a deadline still leaves room to try for a better tier.
+#include "service/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.h"
+
+namespace parmem::service {
+namespace {
+
+TEST(ShouldRetry, OnlyTransientFailuresAndOnlyBelowTheCap) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  // Permanent failures never retry, no matter how early.
+  EXPECT_FALSE(should_retry(policy, FailureClass::kPermanent, 1));
+  // Transient failures retry while completed attempts < max_attempts...
+  EXPECT_TRUE(should_retry(policy, FailureClass::kTransient, 1));
+  EXPECT_TRUE(should_retry(policy, FailureClass::kTransient, 2));
+  // ...and stop at the cap.
+  EXPECT_FALSE(should_retry(policy, FailureClass::kTransient, 3));
+  EXPECT_FALSE(should_retry(policy, FailureClass::kTransient, 4));
+}
+
+TEST(ShouldRetry, SingleAttemptPolicyNeverRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  EXPECT_FALSE(should_retry(policy, FailureClass::kTransient, 1));
+}
+
+TEST(RetryBackoff, MatchesTheSharedJitterHelperExactly) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 250;
+  for (std::uint32_t attempt = 1; attempt <= 8; ++attempt) {
+    SCOPED_TRACE(attempt);
+    EXPECT_EQ(retry_backoff_ms(policy, attempt, /*seed=*/77),
+              support::backoff_with_jitter_ms(10, 250, attempt, 77));
+  }
+}
+
+TEST(RetryBackoff, DeterministicDoublingWithinTheJitterWindow) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 16;
+  policy.max_backoff_ms = 100;
+  std::uint64_t delay = policy.base_backoff_ms;
+  for (std::uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    SCOPED_TRACE(attempt);
+    const std::uint64_t got = retry_backoff_ms(policy, attempt, 1234);
+    // Deterministic in (policy, attempt, seed).
+    EXPECT_EQ(got, retry_backoff_ms(policy, attempt, 1234));
+    // Jitter keeps the draw in [delay/2, delay].
+    EXPECT_GE(got, delay / 2);
+    EXPECT_LE(got, delay);
+    delay = std::min(delay * 2, policy.max_backoff_ms);
+  }
+}
+
+TEST(DegradedHeadroom, NoDeadlineAlwaysHasHeadroom) {
+  RetryPolicy policy;
+  EXPECT_TRUE(degraded_has_headroom(policy, /*remaining_ms=*/~0ULL,
+                                    /*attempts_done=*/1, /*seed=*/5));
+}
+
+TEST(DegradedHeadroom, GateIsBackoffPlusMinHeadroom) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 20;
+  policy.max_backoff_ms = 20;  // pin the doubling so only jitter varies
+  policy.min_headroom_ms = 10;
+  const std::uint64_t backoff = retry_backoff_ms(policy, 1, /*seed=*/9);
+  // Exactly at backoff + min_headroom there is no slack left: not worth it.
+  EXPECT_FALSE(degraded_has_headroom(policy, backoff + policy.min_headroom_ms,
+                                     /*attempts_done=*/1, /*seed=*/9));
+  // One millisecond beyond the gate and the retry is on.
+  EXPECT_TRUE(degraded_has_headroom(policy,
+                                    backoff + policy.min_headroom_ms + 1,
+                                    /*attempts_done=*/1, /*seed=*/9));
+}
+
+TEST(DegradedHeadroom, AnExpiredDeadlineNeverRetries) {
+  RetryPolicy policy;
+  EXPECT_FALSE(degraded_has_headroom(policy, /*remaining_ms=*/0,
+                                     /*attempts_done=*/1, /*seed=*/1));
+}
+
+TEST(FailureClassNames, BothClassesNamed) {
+  EXPECT_STREQ(failure_class_name(FailureClass::kPermanent), "permanent");
+  EXPECT_STREQ(failure_class_name(FailureClass::kTransient), "transient");
+}
+
+}  // namespace
+}  // namespace parmem::service

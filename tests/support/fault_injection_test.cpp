@@ -96,6 +96,35 @@ TEST_F(FaultInjectionTest, ResetDisarmsEverything) {
   EXPECT_NO_THROW(PARMEM_FAULT_POINT("test.site", nullptr));
 }
 
+TEST_F(FaultInjectionTest, KnownSitesRegistryIsSortedAndNonEmpty) {
+  const auto& sites = FaultInjector::known_sites();
+  ASSERT_FALSE(sites.empty());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  // Spot-check sites from two different layers.
+  EXPECT_TRUE(std::binary_search(sites.begin(), sites.end(),
+                                 std::string("pipeline.assign")));
+  EXPECT_TRUE(std::binary_search(sites.begin(), sites.end(),
+                                 std::string("service.worker")));
+}
+
+TEST_F(FaultInjectionTest, ArmRejectsUnknownSitesWithADiagnostic) {
+  // A typo'd site used to arm silently and never fire; now it is an error
+  // that names the bad site.
+  try {
+    FaultInjector::instance().arm("pipeline.asign", FaultKind::kBadAlloc);
+    FAIL() << "expected UserError";
+  } catch (const UserError& e) {
+    EXPECT_NE(std::string(e.what()).find("pipeline.asign"), std::string::npos);
+  }
+}
+
+TEST_F(FaultInjectionTest, TestPrefixIsAlwaysAccepted) {
+  // "test." is the unit tests' scratch namespace — never in the registry,
+  // always armable.
+  EXPECT_NO_THROW(
+      FaultInjector::instance().arm("test.anything", FaultKind::kBadAlloc));
+}
+
 TEST_F(FaultInjectionTest, RecordingCollectsSiteNames) {
   FaultInjector::instance().set_recording(true);
   PARMEM_FAULT_POINT("test.alpha", nullptr);

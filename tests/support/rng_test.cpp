@@ -83,5 +83,45 @@ TEST(SplitMix64, BelowIsRoughlyUniform) {
   }
 }
 
+TEST(BackoffWithJitter, DeterministicAndWithinTheExpectedWindow) {
+  const std::uint64_t base = 10, cap = 250, seed = 0xfeedULL;
+  for (std::uint32_t attempt = 1; attempt <= 8; ++attempt) {
+    const std::uint64_t a = backoff_with_jitter_ms(base, cap, attempt, seed);
+    const std::uint64_t b = backoff_with_jitter_ms(base, cap, attempt, seed);
+    EXPECT_EQ(a, b) << "jitter must be deterministic in (seed, attempt)";
+    // The un-jittered delay doubles per attempt and saturates at the cap;
+    // jitter scales it into [delay/2, delay].
+    std::uint64_t delay = base;
+    for (std::uint32_t i = 1; i < attempt && delay < cap; ++i) {
+      delay = delay > cap / 2 ? cap : delay * 2;
+    }
+    delay = std::min(delay, cap);
+    EXPECT_GE(a, delay / 2) << "attempt " << attempt;
+    EXPECT_LE(a, delay) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffWithJitter, SaturatesAtTheCap) {
+  EXPECT_LE(backoff_with_jitter_ms(10, 250, 32, 1), 250u);
+  EXPECT_LE(backoff_with_jitter_ms(10, 250, 1000000, 2), 250u);
+}
+
+TEST(BackoffWithJitter, DistinctSeedsDecorrelate) {
+  // Not a statistical claim -- just that the seed actually participates, so
+  // a fleet of retrying requests does not thunder back in lockstep.
+  int differing = 0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    if (backoff_with_jitter_ms(100, 1000, 3, seed) !=
+        backoff_with_jitter_ms(100, 1000, 3, seed + 1)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 16);
+}
+
+TEST(BackoffWithJitter, ZeroBaseMeansNoDelay) {
+  EXPECT_EQ(backoff_with_jitter_ms(0, 250, 1, 7), 0u);
+}
+
 }  // namespace
 }  // namespace parmem::support

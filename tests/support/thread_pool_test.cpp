@@ -7,7 +7,6 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -158,21 +157,23 @@ TEST(ThreadPool, CancelMidFlightSkipsRemainingBodiesAndStillJoins) {
   // `ran` must be final when parallel_for returns.
   for (const std::size_t workers : {0u, 2u}) {
     CancelToken token;
-    ThreadPool pool(workers);
     std::atomic<int> ran{0};
-    pool.parallel_for(256,
-                      [&](std::size_t) {
-                        token.cancel();
-                        ran.fetch_add(1);
-                      },
-                      &token);
-    const int at_return = ran.load();
-    EXPECT_GE(at_return, 1) << workers << " workers";
-    // At most one body per participating thread can already be in flight
-    // when the first cancel lands.
-    EXPECT_LE(at_return, static_cast<int>(workers) + 1)
-        << workers << " workers";
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int at_return = 0;
+    {
+      ThreadPool pool(workers);
+      pool.parallel_for(256,
+                        [&](std::size_t) {
+                          token.cancel();
+                          ran.fetch_add(1);
+                        },
+                        &token);
+      at_return = ran.load();
+      EXPECT_GE(at_return, 1) << workers << " workers";
+      // At most one body per participating thread can already be in flight
+      // when the first cancel lands.
+      EXPECT_LE(at_return, static_cast<int>(workers) + 1)
+          << workers << " workers";
+    }  // pool destructor joins every worker — nothing can run past here
     EXPECT_EQ(ran.load(), at_return) << "a body ran after the join";
   }
 }
