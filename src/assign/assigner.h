@@ -38,6 +38,12 @@ enum class DupMethod : std::uint8_t { kBacktracking, kHittingSet };
 ///   kExact        optional exact minimum-copies solver (oracle quality);
 ///   kHeuristic    Fig. 4 coloring + the configured duplication method run
 ///                 to completion — the normal full-effort path;
+///   kSpeculateFallback
+///                 the opt-in speculative coloring tier exhausted its budget
+///                 share mid-repair and was discarded; the sequential
+///                 heuristic finished under the remainder. Output quality is
+///                 exactly kHeuristic's — the tier records that the compile
+///                 degraded (paid for speculation it could not keep);
 ///   kHittingSet   coloring completed greedily and/or duplication reduced
 ///                 to the Fig. 7 pair step (two copies per V_unassigned
 ///                 value), skipping the iterative hitting-set rounds;
@@ -48,9 +54,10 @@ enum class DupMethod : std::uint8_t { kBacktracking, kHittingSet };
 enum class AssignTier : std::uint8_t {
   kExact = 0,
   kHeuristic = 1,
-  kHittingSet = 2,
-  kBacktrackCap = 3,
-  kResidual = 4,
+  kSpeculateFallback = 2,
+  kHittingSet = 3,
+  kBacktrackCap = 4,
+  kResidual = 5,
 };
 
 const char* strategy_name(Strategy s);
@@ -83,6 +90,14 @@ struct AssignOptions {
   /// the serial execution of the same task graph). Null (default) keeps the
   /// legacy fully sequential path.
   support::ThreadPool* pool = nullptr;
+  /// Speculative intra-atom coloring (ColorOptions::speculate_threshold):
+  /// atoms with at least this many undecided vertices are colored by the
+  /// optimistic chunk-parallel tier instead of the sequential urgency heap.
+  /// 0 (default) disables; requires `pool`. Deterministic: byte-identical
+  /// output for every (threads, chunk) configuration.
+  std::size_t speculate_threshold = 0;
+  /// Chunk granularity for the speculative tier (scheduling only).
+  std::size_t speculate_chunk = 256;
   /// Resource budget (deadline / step count), cooperatively polled by the
   /// coloring sweep and all three duplication search kernels. Null
   /// (default) is unlimited and executes exactly the legacy instruction
@@ -110,6 +125,12 @@ struct AssignStats {
   std::size_t forced = 0;             // non-duplicable forced assignments
   std::size_t residual_conflict_tuples = 0;
   std::size_t duplication_rounds = 0;
+  // Speculative-tier accounting (zeros unless the tier was enabled). Not
+  // part of any golden hash: the byte-identity suites compare placements.
+  std::uint64_t speculative_rounds = 0;
+  std::uint64_t speculative_conflicts = 0;
+  std::uint64_t speculative_repaired = 0;
+  std::uint64_t speculative_fallbacks = 0;
 };
 
 struct AssignResult {

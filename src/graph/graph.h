@@ -67,6 +67,20 @@ class Graph {
   /// Requires finalized().
   std::size_t neighbor_array_size() const { return neighbors_.size(); }
 
+  /// 64-bit words per adjacency-bitset row ((n + 63) / 64), or 0 when the
+  /// bitset is absent (graph not finalized, empty, or larger than
+  /// kAdjacencyBitsetMaxVertices). Nonzero means adjacency_row() is usable.
+  std::size_t adjacency_words_per_row() const { return words_per_row_; }
+
+  /// Row `v` of the adjacency bitset: bit `w` of word `w / 64` is set iff
+  /// (v, w) is an edge. Empty span when the bitset is absent. Lets callers
+  /// intersect a neighborhood against their own vertex bitsets word by word
+  /// (the speculative coloring tier's conflict detection).
+  std::span<const std::uint64_t> adjacency_row(Vertex v) const {
+    if (words_per_row_ == 0) return {};
+    return {adj_bits_.data() + v * words_per_row_, words_per_row_};
+  }
+
   std::size_t degree(Vertex v) const {
     return csr_valid_ ? offsets_[v + 1] - offsets_[v] : adj_[v].size();
   }

@@ -40,6 +40,7 @@ const std::vector<std::string>& FaultInjector::known_sites() {
       "assign.exact",
       "assign.hitting_set",
       "assign.pass",
+      "assign.speculate",
       "pipeline.assign",
       "pipeline.parse",
       "pipeline.schedule",

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <utility>
 
 #include "assign/assigner.h"
+#include "assign/conflict_graph.h"
 #include "assign/verify.h"
 #include "support/matching.h"
 #include "support/rng.h"
@@ -64,6 +67,7 @@ class AssignProperty : public ::testing::TestWithParam<Config> {};
 TEST_P(AssignProperty, NoPredictableConflictSurvives) {
   const Config cfg = GetParam();
   support::SplitMix64 rng(0xfeedULL + cfg.module_count);
+  support::ThreadPool pool(2);
   for (int iter = 0; iter < 20; ++iter) {
     const std::size_t nv = 4 + rng.below(30);
     const std::size_t nt = 2 + rng.below(40);
@@ -76,14 +80,27 @@ TEST_P(AssignProperty, NoPredictableConflictSurvives) {
     o.strategy = cfg.strategy;
     o.method = cfg.method;
     o.seed = 1000 + static_cast<std::uint64_t>(iter);
-    const auto r = assign_modules(s, o);
-    const auto report = verify_assignment(s, r);
-    EXPECT_TRUE(report.ok())
-        << "iter " << iter << ": " << report.conflicting_tuples.size()
-        << " conflicting tuples, " << report.missing_values.size()
-        << " missing values";
-    for (const ModuleSet m : r.placement) {
-      EXPECT_LE(copy_count(m), cfg.module_count);
+    // The sequential path and the speculative tier (threshold 1 engages it
+    // on every atom) must both satisfy the paper's invariants — the
+    // speculative coloring is allowed to differ, not to be wrong.
+    AssignOptions so = o;
+    so.pool = &pool;
+    so.speculate_threshold = 1;
+    so.speculate_chunk = 4;
+    const struct {
+      AssignResult r;
+      const char* mode;
+    } runs[] = {{assign_modules(s, o), "sequential"},
+                {assign_modules(s, so), "speculative"}};
+    for (const auto& [r, mode] : runs) {
+      const auto report = verify_assignment(s, r);
+      EXPECT_TRUE(report.ok())
+          << mode << " iter " << iter << ": "
+          << report.conflicting_tuples.size() << " conflicting tuples, "
+          << report.missing_values.size() << " missing values";
+      for (const ModuleSet m : r.placement) {
+        EXPECT_LE(copy_count(m), cfg.module_count);
+      }
     }
   }
 }
@@ -174,6 +191,96 @@ TEST(AssignPropertyRandomized, InvariantsHoldAcrossModuleCounts) {
       AssignOptions po = o;
       po.pool = &pool;
       check(assign_modules(s, po), "atom-parallel");
+      AssignOptions so = po;
+      so.speculate_threshold = 1;
+      so.speculate_chunk = 8;
+      check(assign_modules(s, so), "speculative");
+    }
+  }
+}
+
+// Independent conflict-freedom check for the speculative tier: the coloring
+// it returns is validated against a raw edge list recomputed directly from
+// the tuples — no conflict-graph machinery, no golden hashes. Two adjacent
+// vertices may share a module only if one of them was *forced* (mutable
+// value with no free module); every module index must be within the
+// machine's module count; and every vertex must end either colored or in
+// V_unassigned.
+TEST(SpeculativeColoringProperty, ConflictFreeAgainstRawEdgeList) {
+  support::SplitMix64 rng(0x5bec);
+  support::ThreadPool pool1(0);  // inline execution
+  support::ThreadPool pool4(3);
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::size_t nv = 24 + rng.below(60);
+    const std::size_t nt = 30 + rng.below(120);
+    auto s = random_stream(rng, nv, nt, 4, 3);
+    for (ir::ValueId v = 0; v < nv; ++v) {
+      if (rng.below(4) == 0) s.duplicatable[v] = false;
+    }
+    const std::size_t k = 2 + rng.below(7);
+
+    // Raw edge list straight from the tuples.
+    std::set<std::pair<ir::ValueId, ir::ValueId>> raw_edges;
+    for (const auto& t : s.tuples) {
+      for (std::size_t i = 0; i < t.operands.size(); ++i) {
+        for (std::size_t j = i + 1; j < t.operands.size(); ++j) {
+          const auto u = std::min(t.operands[i], t.operands[j]);
+          const auto w = std::max(t.operands[i], t.operands[j]);
+          if (u != w) raw_edges.emplace(u, w);
+        }
+      }
+    }
+
+    const ConflictGraph cg = ConflictGraph::build(s);
+    const std::size_t n = cg.vertex_count();
+    std::vector<bool> never_remove(n, false);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      never_remove[v] = !s.duplicatable[cg.value_of(v)];
+    }
+
+    const struct {
+      support::ThreadPool* pool;
+      std::size_t chunk;
+      bool use_atoms;
+    } modes[] = {{&pool1, 4, true}, {&pool4, 16, true}, {&pool4, 4, false}};
+    for (const auto& m : modes) {
+      SCOPED_TRACE("iter=" + std::to_string(iter) + " chunk=" +
+                   std::to_string(m.chunk) +
+                   " atoms=" + std::to_string(m.use_atoms));
+      ColorOptions co;
+      co.module_count = k;
+      co.use_atoms = m.use_atoms;
+      co.pool = m.pool;
+      co.speculate_threshold = 1;
+      co.speculate_chunk = m.chunk;
+      const ColorResult cr = color_conflict_graph(cg, co, {}, never_remove);
+      ASSERT_EQ(cr.module.size(), n);
+      EXPECT_GE(cr.speculative.atoms + cr.speculative.fallbacks, 1u)
+          << "speculative tier never engaged";
+
+      std::vector<bool> forced(n, false);
+      for (const graph::Vertex v : cr.forced) forced[v] = true;
+      std::vector<bool> removed(n, false);
+      for (const graph::Vertex v : cr.unassigned) removed[v] = true;
+
+      for (graph::Vertex v = 0; v < n; ++v) {
+        // Within the module count, and colored xor removed.
+        EXPECT_GE(cr.module[v], kUnassignedModule);
+        EXPECT_LT(cr.module[v], static_cast<std::int32_t>(k));
+        EXPECT_EQ(cr.module[v] == kUnassignedModule, removed[v]);
+      }
+      for (const auto& [a, b] : raw_edges) {
+        const auto va = cg.vertex_of(a);
+        const auto vb = cg.vertex_of(b);
+        ASSERT_TRUE(va >= 0 && vb >= 0);
+        const auto u = static_cast<graph::Vertex>(va);
+        const auto w = static_cast<graph::Vertex>(vb);
+        if (cr.module[u] >= 0 && cr.module[u] == cr.module[w]) {
+          EXPECT_TRUE(forced[u] || forced[w])
+              << "values " << a << " and " << b
+              << " share module " << cr.module[u] << " without a force";
+        }
+      }
     }
   }
 }

@@ -63,8 +63,12 @@ TEST(Budget, DeadlineTripsOncePassed) {
   spec.deadline_ms = 1;
   Budget b(spec);
   EXPECT_TRUE(b.limited());
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  EXPECT_FALSE(b.poll());
+  // Spin on poll() instead of sleeping a fixed interval: poll() flips
+  // exactly when the deadline passes (remaining_ms() truncates and would
+  // report 0 up to a millisecond early), so this cannot race the scheduler
+  // however slowly (TSan) or coarsely the host clock ticks.
+  while (b.poll()) std::this_thread::yield();
+  EXPECT_FALSE(b.poll());  // latched
   EXPECT_TRUE(b.exhausted());
   EXPECT_EQ(b.remaining_ms(), 0u);
 }
@@ -148,7 +152,8 @@ TEST(Budget, FractionOfRemainingNeverReturnsUnlimitedFields) {
   spec.deadline_ms = 1;
   Budget b(spec);
   EXPECT_FALSE(b.charge(11));
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Deterministic wait for deadline expiry (see DeadlineTripsOncePassed).
+  while (b.remaining_ms() != 0) std::this_thread::yield();
   const BudgetSpec crumbs = b.fraction_of_remaining(1, 2);
   EXPECT_EQ(crumbs.max_steps, 1u);
   EXPECT_EQ(crumbs.deadline_ms, 1u);
