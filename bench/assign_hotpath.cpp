@@ -39,6 +39,7 @@
 #include "assign/hitting_set_approach.h"
 #include "assign/module_set.h"
 #include "assign/placement_state.h"
+#include "bench_json.h"
 #include "support/diagnostics.h"
 #include "support/json.h"
 #include "support/rng.h"
@@ -983,14 +984,7 @@ void write_json(const std::string& path, const std::vector<Entry>& entries,
   w.end_array();
   w.end_object();
 
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    std::exit(1);
-  }
-  std::fputs(w.str().c_str(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  bench::write_report(path, w);
 }
 
 }  // namespace

@@ -1,0 +1,30 @@
+// Shared report plumbing for the bench harness: every bench that emits a
+// JSON report builds it with support::JsonWriter and publishes it through
+// write_report() — one formatting path, one error path, no hand-rolled
+// fprintf JSON anywhere under bench/.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "support/json.h"
+
+namespace parmem::bench {
+
+/// Writes the (complete) JsonWriter document to `path` with a trailing
+/// newline. Exits the process on I/O failure — a bench report that cannot
+/// be written is a failed run, not a warning.
+inline void write_report(const std::string& path,
+                         const support::JsonWriter& w) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace parmem::bench

@@ -1,0 +1,402 @@
+// Incremental recompilation bench: full compile vs dirty-atom recoloring
+// against a warm atom memo, edit class by edit class (DESIGN.md §13).
+//
+// For every stream the harness compiles a base version once to prime an
+// in-memory memo store, then times two compiles of each *edited* stream:
+// a from-scratch run (no store) and an incremental run against a copy of
+// the primed store. The incremental result must be byte-identical to the
+// from-scratch result — any divergence aborts the bench — and the report
+// records the latency ratio plus the reuse counters (atoms replayed /
+// recolored / frontier) for each cell.
+//
+// Edit classes (all weight-only: duplicated tuples change conflict weights
+// without adding values or edges, the shape of a re-run after a small
+// source edit):
+//   edit_one_line   duplicate a single mid-stream tuple
+//   edit_one_atom   duplicate 8 tuples confined to one block's interior
+//                   (mid-stream for streams without block structure)
+//   edit_10pct      duplicate every 10th tuple, spread over the stream
+//
+// Streams: the six paper workloads, syn_large — the block-structured
+// workloads::modular_stream at its syn_large-class defaults (16 blocks x
+// 256 values x 1200 tuples, seed 0xabc3), whose ~80 clique-separator atoms
+// are the incremental unit — and, in full mode, syn_large_monolithic (the
+// sliding-window random stream of assign_hotpath, same value/tuple budget):
+// its conflict graph has no clique separators, so it decomposes into one
+// giant atom and is the honest worst case where incremental reuse cannot
+// help. --quick swaps syn_large for a smaller modular stream and drops the
+// monolith (CI smoke).
+//
+// The acceptance gate rides in full mode: syn_large edit_one_atom must be
+// >= 5x faster incrementally than from scratch, or the bench exits 1.
+//
+// Usage: incremental_recompile [--quick] [--out PATH]
+//   --quick  paper workloads + a mid-size modular stream, one rep
+//   --out    JSON report path (default BENCH_incremental.json)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "assign/assigner.h"
+#include "assign/incremental.h"
+#include "bench_json.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "workloads/stream_gen.h"
+#include "workloads/workloads.h"
+
+namespace parmem::assign {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+// Copyable in-memory AtomMemoStore: each timed incremental run gets a
+// fresh copy of the primed store, so later reps never benefit from entries
+// journaled by earlier ones.
+struct MapStore final : AtomMemoStore {
+  MapStore() = default;
+  MapStore(const MapStore& o) : map(o.map) {}
+
+  std::optional<std::string> lookup(MemoKind kind, std::uint64_t key,
+                                    std::uint64_t check) override {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = map.find({static_cast<int>(kind), key});
+    if (it == map.end() || it->second.first != check) return std::nullopt;
+    return it->second.second;
+  }
+  void store(MemoKind kind, std::uint64_t key, std::uint64_t check,
+             std::string_view payload) override {
+    std::lock_guard<std::mutex> lock(mu);
+    map.emplace(std::tuple<int, std::uint64_t>{static_cast<int>(kind), key},
+                std::pair<std::uint64_t, std::string>{check,
+                                                      std::string(payload)});
+  }
+
+  std::mutex mu;
+  std::map<std::tuple<int, std::uint64_t>,
+           std::pair<std::uint64_t, std::string>>
+      map;
+};
+
+struct BenchStream {
+  std::string name;
+  ir::AccessStream stream;
+  // Block geometry for the edit_one_atom class; 0 = no block structure
+  // (fall back to a mid-stream tuple run).
+  std::size_t block_count = 0;
+  std::size_t values_per_block = 0;
+};
+
+ir::AccessStream edit_one_line(const ir::AccessStream& base) {
+  ir::AccessStream e = base;
+  e.tuples.push_back(base.tuples[base.tuples.size() / 2]);
+  return e;
+}
+
+ir::AccessStream edit_one_atom(const BenchStream& b) {
+  ir::AccessStream e = b.stream;
+  int added = 0;
+  if (b.block_count > 0) {
+    // Interior of the middle block: away from the bridge cliques, so only
+    // that block's atoms change content.
+    const std::size_t block = b.block_count / 2;
+    const auto lo =
+        static_cast<ir::ValueId>(block * b.values_per_block + 16);
+    const auto hi =
+        static_cast<ir::ValueId>((block + 1) * b.values_per_block - 16);
+    for (std::size_t t = 0; t < b.stream.tuples.size() && added < 8; ++t) {
+      bool inside = true;
+      for (const ir::ValueId op : b.stream.tuples[t].operands) {
+        inside = inside && op >= lo && op < hi;
+      }
+      if (inside) {
+        e.tuples.push_back(b.stream.tuples[t]);
+        ++added;
+      }
+    }
+  }
+  // No block structure (or the interior window was too tight): a run of 8
+  // consecutive mid-stream tuples.
+  for (std::size_t t = b.stream.tuples.size() / 2;
+       t < b.stream.tuples.size() && added < 8; ++t) {
+    e.tuples.push_back(b.stream.tuples[t]);
+    ++added;
+  }
+  return e;
+}
+
+ir::AccessStream edit_10pct(const ir::AccessStream& base) {
+  ir::AccessStream e = base;
+  for (std::size_t t = 0; t < base.tuples.size(); t += 10) {
+    e.tuples.push_back(base.tuples[t]);
+  }
+  return e;
+}
+
+struct Cell {
+  std::string edit;
+  std::size_t added_tuples = 0;
+  double full_ms = 0;
+  double incremental_ms = 0;
+  std::uint64_t color_reused = 0;
+  std::uint64_t color_recolored = 0;
+  std::uint64_t frontier = 0;
+  std::uint64_t dup_reused = 0;
+  std::uint64_t decomp_reused = 0;
+  bool identical = false;
+
+  double speedup() const {
+    return incremental_ms > 0 ? full_ms / incremental_ms : 0.0;
+  }
+  double reuse_ratio() const {
+    const auto total = color_reused + color_recolored;
+    return total > 0 ? static_cast<double>(color_reused) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+struct Entry {
+  std::string name;
+  std::size_t values = 0;
+  std::size_t tuples = 0;
+  std::size_t atoms = 0;
+  std::vector<Cell> cells;
+};
+
+bool same_result(const AssignResult& a, const AssignResult& b) {
+  return a.placement == b.placement && a.removed == b.removed &&
+         a.stats.total_copies == b.stats.total_copies;
+}
+
+Cell bench_cell(const char* edit_name, const ir::AccessStream& edited,
+                const AssignOptions& opts, const MapStore& primed,
+                std::size_t base_tuples, int reps) {
+  Cell c;
+  c.edit = edit_name;
+  c.added_tuples = edited.tuples.size() - base_tuples;
+
+  const AssignResult scratch = assign_modules(edited, opts);
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    assign_modules(edited, opts);
+    const double ms = ms_since(t0);
+    c.full_ms = r == 0 ? ms : std::min(c.full_ms, ms);
+  }
+
+  for (int r = 0; r < reps; ++r) {
+    MapStore store(primed);
+    AssignOptions mo = opts;
+    mo.memo_store = &store;
+    const auto t0 = Clock::now();
+    const AssignResult inc = assign_modules(edited, mo);
+    const double ms = ms_since(t0);
+    c.incremental_ms = r == 0 ? ms : std::min(c.incremental_ms, ms);
+    if (r == 0) {
+      c.color_reused = inc.stats.memo_color_hits;
+      c.color_recolored = inc.stats.memo_color_misses;
+      c.frontier = inc.stats.memo_frontier;
+      c.dup_reused = inc.stats.memo_dup_hits;
+      c.decomp_reused = inc.stats.memo_decomp_hits;
+      c.identical = same_result(inc, scratch);
+    }
+  }
+  return c;
+}
+
+Entry bench_stream(const BenchStream& b, const AssignOptions& opts,
+                   int reps) {
+  Entry e;
+  e.name = b.name;
+  e.values = b.stream.value_count;
+  e.tuples = b.stream.tuples.size();
+
+  // Prime the store with the base compile (untimed) — this is the
+  // "previous build" whose journal the edited compiles replay from.
+  MapStore primed;
+  {
+    AssignOptions mo = opts;
+    mo.memo_store = &primed;
+    const AssignResult base = assign_modules(b.stream, mo);
+    e.atoms = base.stats.memo_color_hits + base.stats.memo_color_misses;
+  }
+
+  e.cells.push_back(bench_cell("edit_one_line", edit_one_line(b.stream),
+                               opts, primed, e.tuples, reps));
+  e.cells.push_back(bench_cell("edit_one_atom", edit_one_atom(b), opts,
+                               primed, e.tuples, reps));
+  e.cells.push_back(bench_cell("edit_10pct", edit_10pct(b.stream), opts,
+                               primed, e.tuples, reps));
+  return e;
+}
+
+void write_json(const std::string& path, const std::vector<Entry>& entries,
+                bool quick) {
+  support::JsonWriter w;
+  w.begin_object();
+  w.member("bench", "incremental_recompile");
+  w.member("quick", quick);
+  w.member("module_count", 8);
+  w.member("pool_width", 1);
+  // The syn_large generator, pinned so the report is reproducible: the
+  // block-structured modular stream (workloads::modular_stream defaults).
+  w.key("syn_large_generator");
+  w.begin_object();
+  w.member("generator", "modular_stream");
+  w.member("block_count", 16);
+  w.member("values_per_block", 256);
+  w.member("tuples_per_block", 1200);
+  w.member("locality_window", 24);
+  w.member("bridge_tuples", 6);
+  w.member("seed", std::uint64_t{0xabc3});
+  w.end_object();
+  w.key("entries");
+  w.begin_array();
+  for (const Entry& e : entries) {
+    w.begin_object();
+    w.member("stream", e.name);
+    w.member("values", e.values);
+    w.member("tuples", e.tuples);
+    w.member("atoms", e.atoms);
+    w.key("edits");
+    w.begin_array();
+    for (const Cell& c : e.cells) {
+      w.begin_object();
+      w.member("edit", c.edit);
+      w.member("added_tuples", c.added_tuples);
+      w.member_fixed("full_ms", c.full_ms, 3);
+      w.member_fixed("incremental_ms", c.incremental_ms, 3);
+      w.member_fixed("speedup", c.speedup(), 2);
+      w.member("atoms_reused", c.color_reused);
+      w.member("atoms_recolored", c.color_recolored);
+      w.member("frontier", c.frontier);
+      w.member("dup_reused", c.dup_reused);
+      w.member("decomp_reused", c.decomp_reused);
+      w.member_fixed("reuse_ratio", c.reuse_ratio(), 3);
+      w.member("identical", c.identical);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  bench::write_report(path, w);
+}
+
+}  // namespace
+}  // namespace parmem::assign
+
+int main(int argc, char** argv) {
+  using namespace parmem;
+
+  bool quick = false;
+  std::string out_path = "BENCH_incremental.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: incremental_recompile [--quick] [--out PATH]\n");
+      return 1;
+    }
+  }
+
+  std::vector<assign::BenchStream> streams;
+  for (const auto& wl : workloads::all_workloads()) {
+    analysis::PipelineOptions o;
+    o.sched.fu_count = 8;
+    o.sched.module_count = 8;
+    o.assign.module_count = 8;
+    o.rename = true;
+    streams.push_back({wl.name, analysis::compile_mc(wl.source, o).stream});
+  }
+  if (quick) {
+    workloads::ModularStreamOptions g;
+    g.block_count = 8;
+    g.values_per_block = 96;
+    g.tuples_per_block = 300;
+    support::SplitMix64 rng(0xabc3);
+    streams.push_back(
+        {"syn_mid_modular", workloads::modular_stream(g, rng), 8, 96});
+  } else {
+    {
+      workloads::ModularStreamOptions g;  // syn_large-class defaults
+      support::SplitMix64 rng(0xabc3);
+      streams.push_back(
+          {"syn_large", workloads::modular_stream(g, rng), 16, 256});
+    }
+    {
+      // The worst case: same budget, no block structure, one giant atom.
+      support::SplitMix64 rng(0xabc3);
+      workloads::StreamGenOptions g;
+      g.value_count = 4096;
+      g.tuple_count = 20000;
+      g.min_width = 2;
+      g.max_width = 4;
+      g.locality_window = 24;
+      g.region_count = 8;
+      streams.push_back(
+          {"syn_large_monolithic", workloads::random_stream(g, rng)});
+    }
+  }
+
+  support::ThreadPool pool(0);  // width 1: the deterministic atom-task mode
+  assign::AssignOptions opts;
+  opts.module_count = 8;
+  opts.pool = &pool;
+
+  const int reps = quick ? 1 : 3;
+  std::vector<assign::Entry> entries;
+  bool all_identical = true;
+  double syn_large_one_atom_speedup = 0;
+  for (const auto& b : streams) {
+    assign::Entry e = assign::bench_stream(b, opts, reps);
+    for (const assign::Cell& c : e.cells) {
+      std::printf(
+          "%-20s %-13s full %9.3f ms  inc %9.3f ms  speedup %6.2fx  "
+          "reuse %3.0f%%  %s\n",
+          e.name.c_str(), c.edit.c_str(), c.full_ms, c.incremental_ms,
+          c.speedup(), 100.0 * c.reuse_ratio(),
+          c.identical ? "identical" : "MISMATCH");
+      all_identical = all_identical && c.identical;
+      if (e.name == "syn_large" && c.edit == "edit_one_atom") {
+        syn_large_one_atom_speedup = c.speedup();
+      }
+    }
+    entries.push_back(std::move(e));
+  }
+
+  assign::write_json(out_path, entries, quick);
+  std::printf("report written to %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: incremental output diverged from from-scratch\n");
+    return 1;
+  }
+  if (!quick && syn_large_one_atom_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: syn_large edit_one_atom speedup %.2fx < 5x\n",
+                 syn_large_one_atom_speedup);
+    return 1;
+  }
+  return 0;
+}

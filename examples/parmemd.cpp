@@ -16,6 +16,14 @@
 //
 // Options:
 //   --cache-dir DIR         persistent result-cache journal (default: none)
+//   --cache-max-entries N   LRU cap on result-cache entries (default 0 =
+//                           unbounded; evicted journal files are unlinked)
+//   --incremental           atom-granular incremental recompilation: reuse
+//                           per-atom assignments whose inputs are unchanged
+//                           (byte-identical output, DESIGN.md §13)
+//   --atom-cache DIR        persistent atom-cache journal (implies
+//                           --incremental; default: in-memory)
+//   --atom-cache-max N      LRU cap on atom-cache entries (default 0)
 //   --workers N             service worker threads (default 2)
 //   --queue-cap N           admission high watermark (default 64)
 //   --deadline-ms N         default deadline for requests without one
@@ -89,9 +97,11 @@ void install_signal_pipe() {
 int usage() {
   std::fprintf(stderr,
                "usage: parmemd [--socket PATH | --soak SECONDS] "
-               "[--cache-dir DIR] [--workers N] [--queue-cap N] "
-               "[--deadline-ms N] [--grace-ms N] [--compile-threads N] "
-               "[--seed S] [--trace FILE.json] [--stats]\n");
+               "[--cache-dir DIR] [--cache-max-entries N] [--incremental] "
+               "[--atom-cache DIR] [--atom-cache-max N] [--workers N] "
+               "[--queue-cap N] [--deadline-ms N] [--grace-ms N] "
+               "[--compile-threads N] [--seed S] [--trace FILE.json] "
+               "[--stats]\n");
   return 1;
 }
 
@@ -108,12 +118,27 @@ void print_service_summary(service::CompileService& svc) {
                (unsigned long long)c.completed);
   std::fprintf(stderr,
                "parmemd: cache hits %llu misses %llu stores %llu "
-               "store-errors %llu loaded %llu load-errors %llu\n",
+               "store-errors %llu loaded %llu load-errors %llu "
+               "evicted %llu\n",
                (unsigned long long)cs.hits, (unsigned long long)cs.misses,
                (unsigned long long)cs.stores,
                (unsigned long long)cs.store_errors,
                (unsigned long long)cs.loaded,
-               (unsigned long long)cs.load_errors);
+               (unsigned long long)cs.load_errors,
+               (unsigned long long)cs.evicted);
+  if (svc.atom_cache() != nullptr) {
+    const auto as = svc.atom_cache()->stats();
+    std::fprintf(stderr,
+                 "parmemd: atom-cache hits %llu misses %llu stores %llu "
+                 "store-errors %llu loaded %llu load-errors %llu "
+                 "evicted %llu\n",
+                 (unsigned long long)as.hits, (unsigned long long)as.misses,
+                 (unsigned long long)as.stores,
+                 (unsigned long long)as.store_errors,
+                 (unsigned long long)as.loaded,
+                 (unsigned long long)as.load_errors,
+                 (unsigned long long)as.evicted);
+  }
 }
 
 int run_stdio(const service::ServiceOptions& opts) {
@@ -208,6 +233,34 @@ int run_soak(service::ServiceOptions opts, std::uint64_t seconds,
   support::SplitMix64 rng(seed);
   const auto& workloads = workloads::all_workloads();
 
+  // Edit-loop corpus: evolving stream sources that accumulate one-tuple
+  // edits across the soak. With --incremental this is the workload the
+  // atom cache exists for — successive compiles of a slightly-edited
+  // program — and the from-scratch identity check at the end holds the
+  // incremental replays to byte-identity.
+  struct Evolving {
+    std::uint64_t values;
+    std::string text;
+  };
+  std::vector<Evolving> evolving;
+  for (int i = 0; i < 2; ++i) {
+    const std::uint64_t values = 48 + rng.below(32);
+    std::string text = "stream " + std::to_string(values) + "\n";
+    for (std::uint64_t t = 0; t < 40; ++t) {
+      const std::uint64_t start = rng.below(values);
+      text += "tuple " + std::to_string(start) + ' ' +
+              std::to_string((start + 1) % values) + '\n';
+    }
+    evolving.push_back({values, std::move(text)});
+  }
+  const auto edited_stream_source = [&]() -> std::string {
+    Evolving& e = evolving[rng.below(evolving.size())];
+    const std::uint64_t start = rng.below(e.values);
+    e.text += "tuple " + std::to_string(start) + ' ' +
+              std::to_string((start + 1) % e.values) + '\n';
+    return e.text;
+  };
+
   struct OkSample {
     service::CompileRequest req;
     std::string payload;
@@ -234,9 +287,10 @@ int run_soak(service::ServiceOptions opts, std::uint64_t seconds,
               support::FaultKind::kInternalError};
           static const char* kSites[] = {"service.worker", "service.admit",
                                          "service.cache_store",
-                                         "pipeline.assign"};
+                                         "pipeline.assign",
+                                         "cache.atom_journal"};
           support::FaultInjector::instance().arm(
-              kSites[rng.below(4)], kKinds[rng.below(3)], 1 + rng.below(3));
+              kSites[rng.below(5)], kKinds[rng.below(3)], 1 + rng.below(3));
         }
 #endif
         service::CompileRequest req;
@@ -247,7 +301,10 @@ int run_soak(service::ServiceOptions opts, std::uint64_t seconds,
           req.body = workloads[rng.below(workloads.size())].source;
         } else if (roll < 80) {
           req.kind = service::RequestKind::kStream;
-          req.body = synth_stream_source(rng);
+          // Half the stream traffic walks the edit loop (append one tuple,
+          // recompile) instead of being freshly random.
+          req.body = rng.below(2) == 0 ? edited_stream_source()
+                                       : synth_stream_source(rng);
         } else {
           req.kind = rng.below(2) == 0 ? service::RequestKind::kMc
                                        : service::RequestKind::kStream;
@@ -316,11 +373,37 @@ int run_soak(service::ServiceOptions opts, std::uint64_t seconds,
     warm.drain();
   }
 
-  if (lost != 0 || warm_mismatch != 0) {
+  // With incremental on, sampled responses may have been assembled from
+  // replayed atom memos; recompile them on a cacheless, non-incremental
+  // service and demand the same bytes — the tentpole's identity invariant,
+  // end to end.
+  std::uint64_t scratch_checked = 0, scratch_mismatch = 0;
+  if (opts.incremental && !samples.empty()) {
+    service::ServiceOptions scratch_opts = opts;
+    scratch_opts.incremental = false;
+    scratch_opts.cache_dir.clear();
+    scratch_opts.atom_cache_dir.clear();
+    service::CompileService scratch(scratch_opts);
+    for (const OkSample& s : samples) {
+      const service::CompileResponse resp = scratch.handle(s.req);
+      ++scratch_checked;
+      if (service::format_response(resp) != s.payload) ++scratch_mismatch;
+    }
+    scratch.drain();
+    std::fprintf(stderr,
+                 "parmemd soak: incremental-vs-scratch checked %llu "
+                 "responses, %llu mismatched\n",
+                 (unsigned long long)scratch_checked,
+                 (unsigned long long)scratch_mismatch);
+  }
+
+  if (lost != 0 || warm_mismatch != 0 || scratch_mismatch != 0) {
     std::fprintf(stderr,
                  "parmemd soak: FAILED — %llu lost requests, %llu "
-                 "warm-restart mismatches\n",
-                 (unsigned long long)lost, (unsigned long long)warm_mismatch);
+                 "warm-restart mismatches, %llu incremental-vs-scratch "
+                 "mismatches\n",
+                 (unsigned long long)lost, (unsigned long long)warm_mismatch,
+                 (unsigned long long)scratch_mismatch);
     return 4;
   }
   std::fprintf(stderr, "parmemd soak: OK\n");
@@ -358,6 +441,15 @@ int run_parmemd(int argc, char** argv) {
       soak_seconds = next_count();
     } else if (arg == "--cache-dir") {
       opts.cache_dir = next();
+    } else if (arg == "--cache-max-entries") {
+      opts.cache_max_entries = static_cast<std::size_t>(next_count());
+    } else if (arg == "--incremental") {
+      opts.incremental = true;
+    } else if (arg == "--atom-cache") {
+      opts.atom_cache_dir = next();
+      opts.incremental = true;
+    } else if (arg == "--atom-cache-max") {
+      opts.atom_cache_max_entries = static_cast<std::size_t>(next_count());
     } else if (arg == "--workers") {
       opts.workers = static_cast<std::size_t>(next_count());
     } else if (arg == "--queue-cap") {

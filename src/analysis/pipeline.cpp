@@ -87,6 +87,7 @@ Compiled compile_mc(const std::string& source, const PipelineOptions& opts,
     assign::AssignOptions assign_opts = opts.assign;
     assign_opts.pool = pool;
     assign_opts.budget = bp;
+    assign_opts.memo_store = opts.atom_memo;
     if (opts.parallel.speculate_threshold != 0) {
       assign_opts.speculate_threshold = opts.parallel.speculate_threshold;
       assign_opts.speculate_chunk = opts.parallel.speculate_chunk;

@@ -73,6 +73,14 @@ struct PipelineOptions {
   /// Step-count-only budgets degrade deterministically on the serial path;
   /// wall-clock deadlines trip at machine-dependent points by nature.
   support::BudgetSpec budget;
+  /// Atom-granular memo store for incremental recompilation (assigner.h,
+  /// DESIGN.md §13). When set, the assignment phase reuses journaled
+  /// per-atom results whose input closure is unchanged and recolors only
+  /// the dirty atoms — output stays byte-identical to a from-scratch
+  /// compile. Null = every compile is from scratch. The caller owns the
+  /// store (typically a cache::AtomCache) and may share it across
+  /// compiles; it must outlive the compile.
+  assign::AtomMemoStore* atom_memo = nullptr;
   /// Name used in diagnostics for this source ("<source>" when empty).
   std::string source_name;
 };

@@ -10,6 +10,7 @@
 #include "assign/conflict_graph.h"
 #include "assign/exact.h"
 #include "assign/hitting_set_approach.h"
+#include "assign/incremental.h"
 #include "assign/placement_state.h"
 #include "assign/workspace.h"
 #include "support/budget.h"
@@ -69,6 +70,7 @@ struct PassContext {
   AssignWorkspace* ws;  // serial-path scratch, reused across passes
   AssignTier* tier;     // weakest ladder tier used so far (result-level)
   bool* exhausted;      // result-level budget_exhausted flag
+  MemoSession* memo;    // incremental memo session (null = off)
 };
 
 void degrade(PassContext& ctx, AssignTier t) {
@@ -140,18 +142,27 @@ bool duplicate_atom_parallel(
     }
   }
 
-  struct Delta {
-    std::vector<std::pair<ir::ValueId, ModuleSet>> added;
-    std::size_t rounds = 0;
-    bool budget_exhausted = false;
-  };
+  // The per-atom delta is the incremental layer's DupAtomDelta so a
+  // journaled delta replays through exactly the merge loop below.
+  using Delta = DupAtomDelta;
   std::vector<Delta> deltas(atoms.size());
   // One pass-RNG draw seeds every atom stream, keeping the pass stream's
-  // consumption independent of the atom count.
+  // consumption independent of the atom count (and of memo hits).
   const std::uint64_t base_seed = ctx.rng->next();
+  // Same engagement rule as the coloring memo: never under a budget.
+  MemoSession* const memo =
+      (ctx.memo != nullptr && opts.budget == nullptr) ? ctx.memo : nullptr;
   opts.pool->parallel_for(atoms.size(), [&](std::size_t i) {
     if (per_atom[i].empty()) return;
     PARMEM_SPAN("assign.dup_atom");
+    Delta& d = deltas[i];
+    std::uint64_t key = 0, check = 0;
+    if (memo != nullptr) {
+      dup_closure_key(per_atom[i], *ctx.st, *ctx.removed, stream.duplicatable,
+                      base_seed + i, opts.module_count, opts.method, &key,
+                      &check);
+      if (memo_dup_lookup(*memo, key, check, &d)) return;
+    }
     thread_local AssignWorkspace tls;  // per-worker scratch
     tls.budget = opts.budget;  // Budget is thread-safe; tasks share it
     PlacementState local = *ctx.st;
@@ -175,13 +186,13 @@ bool duplicate_atom_parallel(
         break;
       }
     }
-    Delta& d = deltas[i];
     d.rounds = rounds;
     d.budget_exhausted = exhausted;
     for (ir::ValueId v = 0; v < stream.value_count; ++v) {
       const ModuleSet extra = local.placement(v) & ~ctx.st->placement(v);
       if (extra != 0) d.added.emplace_back(v, extra);
     }
+    if (memo != nullptr) memo_dup_store(*memo, key, check, d);
   });
 
   bool exhausted = false;
@@ -262,7 +273,7 @@ void run_pass(PassContext& ctx,
     cr = color_conflict_graph(cg, {opts.module_count, opts.use_atoms,
                                    opts.pick, opts.pool, opts.budget,
                                    opts.speculate_threshold,
-                                   opts.speculate_chunk},
+                                   opts.speculate_chunk, ctx.memo},
                               precolored, never_remove, ctx.module_load,
                               ctx.ws);
   } else {
@@ -293,7 +304,8 @@ void run_pass(PassContext& ctx,
     }
     const ColorResult cr2 = color_conflict_graph(
         cg2, {opts.module_count, opts.use_atoms, opts.pick, opts.pool,
-              opts.budget, opts.speculate_threshold, opts.speculate_chunk},
+              opts.budget, opts.speculate_threshold, opts.speculate_chunk,
+              ctx.memo},
         pre2, nr2, ctx.module_load, ctx.ws);
     cr.budget_exhausted = cr2.budget_exhausted;
     cr.speculative = cr2.speculative;
@@ -437,11 +449,21 @@ AssignResult assign_modules(const ir::AccessStream& stream,
   AssignWorkspace workspace;  // shared by every serial-path pass below
   workspace.budget = opts.budget;
 
+  // Incremental memo session: one per compile, sharing the caller's store.
+  // The session is the probe gate + counters; hits/misses land in
+  // result.stats at the end.
+  std::optional<MemoSession> memo_session;
+  if (opts.memo_store != nullptr) {
+    memo_session.emplace(opts.memo_store, opts.memo_probe_window,
+                         opts.memo_min_hit_percent);
+  }
+
   AssignResult result;
   result.module_count = opts.module_count;
   PassContext ctx{&stream,       &opts, &st,           &decided,
                   &removed,      &module_load, &rng,   &result.stats,
-                  &workspace,    &result.tier, &result.budget_exhausted};
+                  &workspace,    &result.tier, &result.budget_exhausted,
+                  memo_session.has_value() ? &*memo_session : nullptr};
 
   std::vector<std::uint32_t> all_tuples(stream.tuples.size());
   for (std::uint32_t i = 0; i < all_tuples.size(); ++i) all_tuples[i] = i;
@@ -584,6 +606,35 @@ AssignResult assign_modules(const ir::AccessStream& stream,
 
   result.placement = st.placements();
   result.removed = std::move(removed);
+
+  if (memo_session.has_value()) {
+    const MemoSession& ms = *memo_session;
+    AssignStats& s = result.stats;
+    s.memo_decomp_hits = ms.decomp_hits.load(std::memory_order_relaxed);
+    s.memo_decomp_misses = ms.decomp_misses.load(std::memory_order_relaxed);
+    s.memo_color_hits = ms.color_hits.load(std::memory_order_relaxed);
+    s.memo_color_misses = ms.color_misses.load(std::memory_order_relaxed);
+    s.memo_dup_hits = ms.dup_hits.load(std::memory_order_relaxed);
+    s.memo_dup_misses = ms.dup_misses.load(std::memory_order_relaxed);
+    s.memo_frontier = ms.frontier.load(std::memory_order_relaxed);
+    s.memo_fallbacks = ms.fallbacks.load(std::memory_order_relaxed);
+#if PARMEM_TELEMETRY_ENABLED
+    PARMEM_COUNTER_ADD("assign.incremental.atoms_reused", s.memo_color_hits);
+    PARMEM_COUNTER_ADD("assign.incremental.atoms_dirty",
+                       s.memo_color_misses - s.memo_frontier);
+    PARMEM_COUNTER_ADD("assign.incremental.frontier", s.memo_frontier);
+    PARMEM_COUNTER_ADD("assign.incremental.dup_reused", s.memo_dup_hits);
+    PARMEM_COUNTER_ADD("assign.incremental.decomp_reused",
+                       s.memo_decomp_hits);
+    PARMEM_COUNTER_ADD("assign.incremental.fallbacks", s.memo_fallbacks);
+    const std::uint64_t probes = s.memo_color_hits + s.memo_color_misses +
+                                 s.memo_dup_hits + s.memo_dup_misses;
+    const std::uint64_t hits = s.memo_color_hits + s.memo_dup_hits;
+    PARMEM_GAUGE_SET(
+        "assign.incremental.hit_percent",
+        probes == 0 ? 0 : static_cast<std::int64_t>(hits * 100 / probes));
+#endif
+  }
 
   // The paper's evaluation counters, once per assignment. Conflicts-before
   // (assign.conflict_edges/_weight) accumulate per pass in run_pass;

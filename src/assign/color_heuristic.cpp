@@ -4,6 +4,7 @@
 #include <array>
 #include <bit>
 
+#include "assign/incremental.h"
 #include "assign/module_set.h"
 #include "assign/speculate.h"
 
@@ -262,16 +263,22 @@ void color_atoms_parallel(const ConflictGraph& cg,
                ws, result);
   }
 
-  struct Delta {
-    std::vector<std::pair<Vertex, std::int32_t>> colored;
-    std::vector<Vertex> unassigned;  // in removal order
-    std::vector<Vertex> forced;
-    std::vector<std::size_t> load_delta;
-    bool budget_exhausted = false;
-    SpeculateStats spec;
-  };
+  // The per-atom delta is the incremental layer's ColorAtomDelta so a
+  // journaled delta replays through exactly the merge loop below.
+  using Delta = ColorAtomDelta;
   std::vector<Delta> deltas(atoms.size());
+  // Per-atom memoization engages only without a budget: budget trips are
+  // time-dependent, and a memo must never change where one lands.
+  MemoSession* const memo =
+      (opts.memo != nullptr && opts.budget == nullptr) ? opts.memo : nullptr;
   opts.pool->parallel_for(atoms.size(), [&](std::size_t i) {
+    Delta& d = deltas[i];
+    std::uint64_t key = 0, check = 0, content = 0;
+    if (memo != nullptr) {
+      color_closure_key(cg, atoms[i].vertices, opts, result.module, decided,
+                        never_remove, load, &key, &check, &content);
+      if (memo_color_lookup(*memo, key, check, content, &d)) return;
+    }
     // One workspace per worker thread; it also owns the frontier snapshots,
     // so a worker allocates them once instead of once per atom.
     thread_local AssignWorkspace tls;
@@ -282,7 +289,6 @@ void color_atoms_parallel(const ConflictGraph& cg,
     color_atom(cg, atoms[i].vertices, opts, tls.module_snapshot,
                tls.decided_snapshot, never_remove, tls.load_snapshot, tls,
                local);
-    Delta& d = deltas[i];
     for (const Vertex v : atoms[i].vertices) {
       if (!decided[v] && tls.module_snapshot[v] >= 0) {
         d.colored.emplace_back(v, tls.module_snapshot[v]);
@@ -296,6 +302,7 @@ void color_atoms_parallel(const ConflictGraph& cg,
     for (std::size_t m = 0; m < load.size(); ++m) {
       d.load_delta[m] = tls.load_snapshot[m] - load[m];
     }
+    if (memo != nullptr) memo_color_store(*memo, key, check, content, d);
   });
 
   for (Delta& d : deltas) {
@@ -356,6 +363,11 @@ ColorResult color_conflict_graph(const ConflictGraph& cg,
   if (opts.use_atoms && n > 0) {
     auto atoms = [&] {
       PARMEM_SPAN("assign.atoms");  // MCS-M + clique-separator decomposition
+      // The decomposition reads only the graph structure, so the memo can
+      // reuse it across compiles whenever the structure hash matches —
+      // valid in serial and pool mode alike, budget or not (nothing in the
+      // decomposition polls the budget).
+      if (opts.memo != nullptr) return memo_decompose(*opts.memo, cg);
       return graph::decompose_by_clique_separators(cg.graph());
     }();
     // Reverse generation order: each atom then meets the already-colored

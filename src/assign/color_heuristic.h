@@ -32,6 +32,8 @@ class ThreadPool;
 
 namespace parmem::assign {
 
+struct MemoSession;  // incremental.h
+
 /// How the heuristic picks among several admissible modules
 /// ("ASSIGN(n_next) = one of the available modules", Fig. 4).
 enum class ModulePick : std::uint8_t {
@@ -74,6 +76,13 @@ struct ColorOptions {
   /// chunk size may produce a different (still conflict-free) coloring.
   /// Worker count never does.
   std::size_t speculate_chunk = 256;
+  /// Incremental memo session (incremental.h). When set, the
+  /// clique-separator decomposition is reused under a structure-only hash,
+  /// and — in pool mode with no budget — each atom's coloring delta is
+  /// replayed from the store when its input closure is unchanged. Null
+  /// (default) = off. Pure memoization: output is byte-identical to a
+  /// memo-less run for any store state.
+  MemoSession* memo = nullptr;
 };
 
 inline constexpr std::int32_t kUnassignedModule = -1;

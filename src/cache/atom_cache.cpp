@@ -1,0 +1,260 @@
+#include "cache/atom_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/fault_injection.h"
+#include "support/file_io.h"
+
+namespace parmem::cache {
+namespace {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string encode_entry(assign::MemoKind kind, std::uint64_t check,
+                         std::string_view payload) {
+  char head[96];
+  std::snprintf(head, sizeof head, "parmem-atom 1 %u %016llx %zu %016llx\n",
+                static_cast<unsigned>(kind),
+                static_cast<unsigned long long>(check), payload.size(),
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  std::string out(head);
+  out.append(payload);
+  return out;
+}
+
+struct DecodedEntry {
+  assign::MemoKind kind;
+  std::uint64_t check;
+  std::string payload;
+};
+
+/// Validates and strips the entry header. nullopt on any mismatch.
+std::optional<DecodedEntry> decode_entry(const std::string& bytes) {
+  const std::size_t nl = bytes.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  char tag[16] = {};
+  unsigned kind = 0;
+  unsigned long long check = 0, sum = 0;
+  std::size_t len = 0;
+  if (std::sscanf(bytes.c_str(), "parmem-atom %15s %u %llx %zu %llx", tag,
+                  &kind, &check, &len, &sum) != 5 ||
+      std::string_view(tag) != "1") {
+    return std::nullopt;
+  }
+  if (kind == 0 || kind > 0xff) return std::nullopt;
+  if (bytes.size() - nl - 1 != len) return std::nullopt;
+  std::string payload = bytes.substr(nl + 1);
+  if (fnv1a64(payload) != sum) return std::nullopt;
+  return DecodedEntry{static_cast<assign::MemoKind>(kind), check,
+                      std::move(payload)};
+}
+
+std::optional<std::pair<std::uint8_t, std::uint64_t>> key_of_filename(
+    const std::string& name) {
+  // "<2-hex-kind><16-hex-key>.atom"
+  if (name.size() != 23 || name.substr(18) != ".atom") return std::nullopt;
+  std::uint64_t kind = 0, key = 0;
+  for (std::size_t i = 0; i < 18; ++i) {
+    const char ch = name[i];
+    std::uint64_t d;
+    if (ch >= '0' && ch <= '9') d = static_cast<std::uint64_t>(ch - '0');
+    else if (ch >= 'a' && ch <= 'f') d = static_cast<std::uint64_t>(ch - 'a') + 10;
+    else return std::nullopt;
+    if (i < 2) kind = (kind << 4) | d;
+    else key = (key << 4) | d;
+  }
+  if (kind == 0) return std::nullopt;
+  return std::make_pair(static_cast<std::uint8_t>(kind), key);
+}
+
+}  // namespace
+
+AtomCache::AtomCache(std::string dir, std::size_t max_entries)
+    : dir_(std::move(dir)), max_entries_(max_entries) {
+  if (!dir_.empty()) {
+    if (support::ensure_directory(dir_)) {
+      load_journal();
+    } else {
+      // An unusable cache dir degrades to memory-only; persistence
+      // failures show up in stats().
+      ++stats_.load_errors;
+      dir_.clear();
+    }
+  }
+}
+
+void AtomCache::load_journal() {
+  // Order by mtime (oldest first) so the rebuilt recency order matches
+  // on-disk age: the entries a surviving process would evict first are the
+  // ones a restarted process evicts first too.
+  struct Candidate {
+    std::int64_t mtime;
+    std::string name;
+    std::uint8_t kind;
+    std::uint64_t key;
+  };
+  std::vector<Candidate> files;
+  for (const std::string& name : support::list_directory(dir_)) {
+    const auto parsed = key_of_filename(name);
+    if (!parsed.has_value()) {
+      // `.tmp-*` orphans from a killed store, or foreign files.
+      ++stats_.load_errors;
+      continue;
+    }
+    const auto mt = support::file_mtime(dir_ + "/" + name);
+    files.push_back(Candidate{mt.value_or(0), name, parsed->first,
+                              parsed->second});
+  }
+  std::stable_sort(files.begin(), files.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.mtime < b.mtime;
+                   });
+  std::vector<std::string> doomed;
+  for (const Candidate& f : files) {
+    std::optional<DecodedEntry> entry;
+    try {
+      PARMEM_FAULT_POINT("cache.atom_journal", nullptr);
+      const auto bytes = support::read_file(dir_ + "/" + f.name);
+      if (bytes.has_value()) entry = decode_entry(*bytes);
+    } catch (...) {
+      // An injected (or real) fault while reading one entry costs that
+      // entry, not the warm start.
+      entry.reset();
+    }
+    if (!entry.has_value() ||
+        static_cast<std::uint8_t>(entry->kind) != f.kind) {
+      ++stats_.load_errors;
+      continue;
+    }
+    const Key k{f.kind, f.key};
+    Entry e;
+    e.check = entry->check;
+    e.payload = std::move(entry->payload);
+    e.seq = next_seq_++;
+    recency_.emplace(e.seq, k);
+    entries_.emplace(k, std::move(e));
+    ++stats_.loaded;
+  }
+  if (max_entries_ != 0 && entries_.size() > max_entries_) {
+    doomed = evict_locked();  // single-threaded here; lock not yet needed
+  }
+  for (const std::string& path : doomed) support::remove_file(path);
+}
+
+std::string AtomCache::entry_path(assign::MemoKind kind,
+                                  std::uint64_t key) const {
+  if (dir_.empty()) return "";
+  char name[40];
+  std::snprintf(name, sizeof name, "%02x%016llx.atom",
+                static_cast<unsigned>(kind),
+                static_cast<unsigned long long>(key));
+  return dir_ + "/" + name;
+}
+
+void AtomCache::touch(
+    std::unordered_map<Key, Entry, KeyHash>::iterator it) {
+  recency_.erase(it->second.seq);
+  it->second.seq = next_seq_++;
+  recency_.emplace(it->second.seq, it->first);
+}
+
+std::vector<std::string> AtomCache::evict_locked() {
+  std::vector<std::string> doomed;
+  while (max_entries_ != 0 && entries_.size() > max_entries_ &&
+         !recency_.empty()) {
+    const auto oldest = recency_.begin();
+    const Key victim = oldest->second;
+    recency_.erase(oldest);
+    entries_.erase(victim);
+    ++stats_.evicted;
+    if (!dir_.empty()) {
+      doomed.push_back(
+          entry_path(static_cast<assign::MemoKind>(victim.kind), victim.key));
+    }
+  }
+  return doomed;
+}
+
+std::optional<std::string> AtomCache::lookup(assign::MemoKind kind,
+                                             std::uint64_t key,
+                                             std::uint64_t check) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(Key{static_cast<std::uint8_t>(kind), key});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.check != check) {
+    // 64-bit key collided but the independent check hash disagrees: treat
+    // as a miss. The assigner will re-derive; first-writer-wins keeps the
+    // stored entry (the colliding closures are different inputs anyway).
+    ++stats_.check_mismatches;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  touch(it);
+  return it->second.payload;
+}
+
+void AtomCache::store(assign::MemoKind kind, std::uint64_t key,
+                      std::uint64_t check, std::string_view payload) {
+  std::string persist_path;
+  std::string persist_bytes;
+  std::vector<std::string> doomed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const Key k{static_cast<std::uint8_t>(kind), key};
+    const auto [it, inserted] = entries_.emplace(k, Entry{});
+    if (!inserted) {
+      // First writer wins (replay must stay byte-identical); still counts
+      // as recent use.
+      touch(it);
+      return;
+    }
+    it->second.check = check;
+    it->second.payload.assign(payload.data(), payload.size());
+    it->second.seq = next_seq_++;
+    recency_.emplace(it->second.seq, k);
+    ++stats_.stores;
+    if (!dir_.empty()) {
+      persist_path = entry_path(kind, key);
+      persist_bytes = encode_entry(kind, check, it->second.payload);
+    }
+    doomed = evict_locked();
+  }
+  for (const std::string& path : doomed) support::remove_file(path);
+  if (!persist_path.empty()) {
+    bool ok = false;
+    try {
+      PARMEM_FAULT_POINT("cache.atom_journal", nullptr);
+      ok = support::write_file_atomic(persist_path, persist_bytes);
+    } catch (...) {
+      ok = false;
+    }
+    if (!ok) {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.store_errors;
+    }
+  }
+}
+
+std::size_t AtomCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+AtomCache::Stats AtomCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace parmem::cache

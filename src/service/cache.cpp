@@ -1,5 +1,6 @@
 #include "service/cache.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "service/request.h"
@@ -53,7 +54,8 @@ std::optional<std::uint64_t> key_of_filename(const std::string& name) {
 
 }  // namespace
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir, std::size_t max_entries)
+    : dir_(std::move(dir)), max_entries_(max_entries) {
   if (!dir_.empty()) {
     if (support::ensure_directory(dir_)) {
       load_journal();
@@ -67,6 +69,15 @@ ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
 }
 
 void ResultCache::load_journal() {
+  // Load oldest-mtime first so the rebuilt recency order matches on-disk
+  // age: a restarted daemon evicts the same cold tail a surviving one
+  // would have.
+  struct Candidate {
+    std::int64_t mtime;
+    std::string name;
+    std::uint64_t key;
+  };
+  std::vector<Candidate> files;
   for (const std::string& name : support::list_directory(dir_)) {
     const auto key = key_of_filename(name);
     if (!key.has_value()) {
@@ -76,7 +87,15 @@ void ResultCache::load_journal() {
       ++stats_.load_errors;
       continue;
     }
-    const auto bytes = support::read_file(dir_ + "/" + name);
+    const auto mt = support::file_mtime(dir_ + "/" + name);
+    files.push_back(Candidate{mt.value_or(0), name, *key});
+  }
+  std::stable_sort(files.begin(), files.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.mtime < b.mtime;
+                   });
+  for (const Candidate& f : files) {
+    const auto bytes = support::read_file(dir_ + "/" + f.name);
     if (!bytes.has_value()) {
       ++stats_.load_errors;
       continue;
@@ -86,9 +105,36 @@ void ResultCache::load_journal() {
       ++stats_.load_errors;
       continue;
     }
-    entries_.emplace(*key, std::move(*payload));
+    Entry e;
+    e.payload = std::move(*payload);
+    e.seq = next_seq_++;
+    recency_.emplace(e.seq, f.key);
+    entries_.emplace(f.key, std::move(e));
     ++stats_.loaded;
   }
+  // Trim an over-capacity journal immediately (single-threaded here).
+  for (const std::string& path : evict_locked()) support::remove_file(path);
+}
+
+void ResultCache::touch(
+    std::unordered_map<std::uint64_t, Entry>::iterator it) {
+  recency_.erase(it->second.seq);
+  it->second.seq = next_seq_++;
+  recency_.emplace(it->second.seq, it->first);
+}
+
+std::vector<std::string> ResultCache::evict_locked() {
+  std::vector<std::string> doomed;
+  while (max_entries_ != 0 && entries_.size() > max_entries_ &&
+         !recency_.empty()) {
+    const auto oldest = recency_.begin();
+    const std::uint64_t victim = oldest->second;
+    recency_.erase(oldest);
+    entries_.erase(victim);
+    ++stats_.evicted;
+    if (!dir_.empty()) doomed.push_back(entry_path(victim));
+  }
+  return doomed;
 }
 
 std::string ResultCache::entry_path(std::uint64_t key) const {
@@ -107,23 +153,33 @@ std::optional<std::string> ResultCache::lookup(std::uint64_t key) {
     return std::nullopt;
   }
   ++stats_.hits;
-  return it->second;
+  touch(it);
+  return it->second.payload;
 }
 
 void ResultCache::store(std::uint64_t key, std::string_view cached_part) {
   std::string persist_path;
   std::string persist_bytes;
+  std::vector<std::string> doomed;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    const auto [it, inserted] =
-        entries_.emplace(key, std::string(cached_part));
-    if (!inserted) return;  // first writer wins
+    const auto [it, inserted] = entries_.emplace(key, Entry{});
+    if (!inserted) {
+      // First writer wins; re-storing still counts as recent use.
+      touch(it);
+      return;
+    }
+    it->second.payload.assign(cached_part.data(), cached_part.size());
+    it->second.seq = next_seq_++;
+    recency_.emplace(it->second.seq, key);
     ++stats_.stores;
     if (!dir_.empty()) {
       persist_path = entry_path(key);
-      persist_bytes = encode_entry(it->second);
+      persist_bytes = encode_entry(it->second.payload);
     }
+    doomed = evict_locked();
   }
+  for (const std::string& path : doomed) support::remove_file(path);
   if (!persist_path.empty() &&
       !support::write_file_atomic(persist_path, persist_bytes)) {
     std::lock_guard<std::mutex> lk(mu_);

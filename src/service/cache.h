@@ -17,14 +17,21 @@
 // mis-named files are skipped (counted in Stats::load_errors), not fatal:
 // the cache is an accelerator, and a damaged journal must degrade to a
 // cold start, not a crashed daemon.
+//
+// Capacity is bounded by `max_entries` (0 = unbounded) with LRU eviction:
+// lookups and stores refresh recency, and the journal file of an evicted
+// entry is unlinked. On warm restart, recency is rebuilt from file mtimes
+// so a restarted daemon evicts the same cold tail a surviving one would.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace parmem::service {
 
@@ -37,11 +44,14 @@ class ResultCache {
     std::uint64_t store_errors = 0;  // persist failures (entry stays in RAM)
     std::uint64_t loaded = 0;        // entries recovered at construction
     std::uint64_t load_errors = 0;   // corrupt/orphaned files skipped
+    std::uint64_t evicted = 0;       // LRU victims dropped (file unlinked)
   };
 
   /// Memory-only cache when `dir` is empty; otherwise creates `dir` as
-  /// needed and warm-loads every valid journal entry.
-  explicit ResultCache(std::string dir = "");
+  /// needed and warm-loads every valid journal entry (oldest mtime first,
+  /// so in-memory recency matches on-disk age). `max_entries` caps the
+  /// entry count with LRU eviction, 0 = unbounded.
+  explicit ResultCache(std::string dir = "", std::size_t max_entries = 0);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -57,6 +67,7 @@ class ResultCache {
 
   std::size_t size() const;
   const std::string& dir() const { return dir_; }
+  std::size_t max_entries() const { return max_entries_; }
   Stats stats() const;
 
   /// Journal path for `key` ("" for a memory-only cache). Exposed for the
@@ -64,11 +75,24 @@ class ResultCache {
   std::string entry_path(std::uint64_t key) const;
 
  private:
+  struct Entry {
+    std::string payload;
+    std::uint64_t seq = 0;  // recency stamp; larger = more recent
+  };
+
   void load_journal();
+  /// Moves `it` to the back of the recency order. Caller holds mu_.
+  void touch(std::unordered_map<std::uint64_t, Entry>::iterator it);
+  /// Evicts LRU entries until size <= max_entries_; returns the journal
+  /// paths to unlink. Caller holds mu_.
+  std::vector<std::string> evict_locked();
 
   std::string dir_;
+  std::size_t max_entries_ = 0;
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::string> entries_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::map<std::uint64_t, std::uint64_t> recency_;  // seq -> key, oldest first
+  std::uint64_t next_seq_ = 1;
   Stats stats_;
 };
 

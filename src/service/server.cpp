@@ -69,7 +69,12 @@ CompileResponse error_response(std::uint64_t id, ResponseStatus status,
 }
 
 CompileService::CompileService(ServiceOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cache_dir) {
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_dir, opts_.cache_max_entries) {
+  if (opts_.incremental) {
+    atom_cache_ = std::make_unique<cache::AtomCache>(
+        opts_.atom_cache_dir, opts_.atom_cache_max_entries);
+  }
   if (opts_.workers == 0) opts_.workers = 1;
   if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
   if (opts_.queue_resume == 0 || opts_.queue_resume >= opts_.queue_capacity) {
@@ -350,6 +355,10 @@ CompileService::AttemptResult CompileService::run_attempt(Job& job,
       // A fixed source name keeps diagnostics (and so the cacheable bytes)
       // independent of the request id.
       popts.source_name = "<service>";
+      // Incremental recompilation: the shared atom cache lets this attempt
+      // reuse per-atom results from earlier compiles of similar sources.
+      // Replay is byte-identical, so cached responses are unaffected.
+      popts.atom_memo = atom_cache_.get();
       analysis::Compiled c = [&] {
         if (opts_.compile_threads > 1) {
           support::ThreadPool pool(opts_.compile_threads);
@@ -368,6 +377,7 @@ CompileService::AttemptResult CompileService::run_attempt(Job& job,
       aopts.module_count = job.req.module_count;
       aopts.strategy = job.req.strategy;
       aopts.method = job.req.method;
+      aopts.memo_store = atom_cache_.get();
       support::Budget budget(spec, nullptr, &inf.token);
       if (budget.limited()) aopts.budget = &budget;
       const assign::AssignResult result = assign::assign_modules(stream, aopts);

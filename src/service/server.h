@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/atom_cache.h"
 #include "service/cache.h"
 #include "service/request.h"
 #include "service/retry.h"
@@ -67,10 +68,24 @@ struct ServiceOptions {
   RetryPolicy retry;
   /// Result-cache journal directory ("" = memory-only).
   std::string cache_dir;
+  /// LRU cap on result-cache entries (0 = unbounded). Evicted entries'
+  /// journal files are unlinked.
+  std::size_t cache_max_entries = 0;
   /// opts.parallel.threads for each compile (0/1 = serial).
   std::size_t compile_threads = 0;
   /// Admission-time cap on a stream request's declared value count.
   std::uint64_t max_stream_values = std::uint64_t{1} << 20;
+  /// Incremental recompilation: keep an atom-granular memo store
+  /// (cache::AtomCache, DESIGN.md §13) and let each compile reuse the
+  /// journaled per-atom results whose input closure is unchanged. Output
+  /// bytes are identical to from-scratch compiles, so the result cache's
+  /// byte-identity contract is unaffected.
+  bool incremental = false;
+  /// Atom-cache journal directory ("" = memory-only; only meaningful with
+  /// `incremental`).
+  std::string atom_cache_dir;
+  /// LRU cap on atom-cache entries (0 = unbounded).
+  std::size_t atom_cache_max_entries = 0;
 };
 
 class CompileService {
@@ -116,6 +131,9 @@ class CompileService {
   std::size_t inflight() const;
   Counters counters() const;
   ResultCache& cache() { return cache_; }
+  /// The atom-granular memo store, or null when ServiceOptions::incremental
+  /// is off.
+  cache::AtomCache* atom_cache() { return atom_cache_.get(); }
   const ServiceOptions& options() const { return opts_; }
 
  private:
@@ -165,6 +183,7 @@ class CompileService {
 
   ServiceOptions opts_;
   ResultCache cache_;
+  std::unique_ptr<cache::AtomCache> atom_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -41,6 +41,7 @@ const std::vector<std::string>& FaultInjector::known_sites() {
       "assign.hitting_set",
       "assign.pass",
       "assign.speculate",
+      "cache.atom_journal",
       "pipeline.assign",
       "pipeline.parse",
       "pipeline.schedule",

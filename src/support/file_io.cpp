@@ -75,4 +75,11 @@ bool remove_file(const std::string& path) {
   return !std::filesystem::exists(path, ec);
 }
 
+std::optional<std::int64_t> file_mtime(const std::string& path) {
+  std::error_code ec;
+  const auto t = std::filesystem::last_write_time(path, ec);
+  if (ec) return std::nullopt;
+  return static_cast<std::int64_t>(t.time_since_epoch().count());
+}
+
 }  // namespace parmem::support

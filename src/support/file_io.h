@@ -7,6 +7,7 @@
 // complete file, or an orphaned `.tmp-*` sibling that readers ignore.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -35,5 +36,11 @@ std::vector<std::string> list_directory(const std::string& dir);
 /// Unlinks a file; true when the file is gone afterwards (including when it
 /// never existed).
 bool remove_file(const std::string& path);
+
+/// Last-modification time of `path` in nanoseconds since the filesystem
+/// clock's epoch, or nullopt when the file cannot be stat'ed. Only the
+/// ordering between two results is meaningful (used to rebuild cache
+/// recency on warm restart).
+std::optional<std::int64_t> file_mtime(const std::string& path);
 
 }  // namespace parmem::support

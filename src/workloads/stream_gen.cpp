@@ -59,4 +59,70 @@ ir::AccessStream random_stream(const StreamGenOptions& opts,
   return s;
 }
 
+ir::AccessStream modular_stream(const ModularStreamOptions& opts,
+                                support::SplitMix64& rng) {
+  PARMEM_CHECK(opts.block_count >= 1, "need at least one block");
+  PARMEM_CHECK(opts.values_per_block >= 4, "blocks need at least four values");
+  PARMEM_CHECK(opts.min_width >= 1 && opts.min_width <= opts.max_width,
+               "bad width range");
+  PARMEM_CHECK(opts.tuples_per_block >= 2, "need at least two tuples/block");
+
+  const std::size_t bv = opts.values_per_block;
+  const std::size_t max_w = std::min(opts.max_width, bv);
+  const std::size_t min_w = std::min(opts.min_width, max_w);
+  const std::size_t n = opts.block_count * bv;
+
+  std::vector<std::vector<ir::ValueId>> tuples;
+  tuples.reserve(opts.block_count * (opts.tuples_per_block + opts.bridge_tuples));
+  for (std::size_t b = 0; b < opts.block_count; ++b) {
+    const std::size_t base = b * bv;
+    for (std::size_t t = 0; t < opts.tuples_per_block; ++t) {
+      const std::size_t w =
+          min_w + static_cast<std::size_t>(rng.below(max_w - min_w + 1));
+      std::size_t lo = base, span = bv;
+      if (opts.locality_window >= w && opts.locality_window < bv) {
+        span = opts.locality_window;
+        lo = base + (t * (bv - span)) / (opts.tuples_per_block - 1);
+      }
+      std::vector<ir::ValueId> ops;
+      while (ops.size() < w) {
+        const auto v = static_cast<ir::ValueId>(lo + rng.below(span));
+        if (std::find(ops.begin(), ops.end(), v) == ops.end()) ops.push_back(v);
+      }
+      tuples.push_back(std::move(ops));
+    }
+    if (b + 1 < opts.block_count) {
+      // The two trailing values of block b form the clique separator to
+      // block b+1: every bridge tuple contains both, so they are mutually
+      // adjacent and every inter-block path crosses them.
+      const auto s0 = static_cast<ir::ValueId>(base + bv - 2);
+      const auto s1 = static_cast<ir::ValueId>(base + bv - 1);
+      for (std::size_t j = 0; j < opts.bridge_tuples; ++j) {
+        const auto x = static_cast<ir::ValueId>(
+            (b + 1) * bv + rng.below(std::min<std::size_t>(bv, 16)));
+        tuples.push_back({s0, s1, x});
+      }
+    }
+  }
+
+  ir::AccessStream s = ir::AccessStream::from_tuples(n, std::move(tuples));
+
+  // One region per block; bridge values (touched from both sides) become
+  // global, mirroring random_stream's convention.
+  std::vector<ir::RegionId> first_region(n, ir::kNoRegion);
+  for (auto& tuple : s.tuples) {
+    ir::ValueId lead = tuple.operands.front();
+    const auto r = static_cast<ir::RegionId>(lead / bv);
+    tuple.region = r;
+    for (const ir::ValueId v : tuple.operands) {
+      if (first_region[v] == ir::kNoRegion) {
+        first_region[v] = r;
+      } else if (first_region[v] != r) {
+        s.global[v] = true;
+      }
+    }
+  }
+  return s;
+}
+
 }  // namespace parmem::workloads

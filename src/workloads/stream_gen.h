@@ -29,4 +29,30 @@ struct StreamGenOptions {
 ir::AccessStream random_stream(const StreamGenOptions& opts,
                                support::SplitMix64& rng);
 
+struct ModularStreamOptions {
+  /// Independent value blocks (≈ procedures / compilation units). Each
+  /// becomes one or more atoms; consecutive blocks are joined by a small
+  /// clique of bridge values, so the decomposition recovers the blocks.
+  std::size_t block_count = 16;
+  std::size_t values_per_block = 256;
+  std::size_t tuples_per_block = 1200;
+  std::size_t min_width = 2;
+  std::size_t max_width = 4;
+  /// Sliding locality window inside each block (see StreamGenOptions).
+  std::size_t locality_window = 24;
+  /// Bridge tuples emitted per block boundary; each co-accesses the two
+  /// trailing values of the left block with one value of the right block.
+  std::size_t bridge_tuples = 6;
+};
+
+/// Generates a block-structured stream: tuples stay inside their block
+/// except for small clique bridges between neighbours. Unlike a single
+/// sliding window over the whole value space (which yields one monolithic
+/// atom at realistic densities), this is the shape §2.1's decomposition is
+/// built for — many atoms joined by clique separators — and is the target
+/// class for incremental recompilation: an edit inside one block leaves
+/// every other block's atoms byte-identical. One region per block.
+ir::AccessStream modular_stream(const ModularStreamOptions& opts,
+                                support::SplitMix64& rng);
+
 }  // namespace parmem::workloads

@@ -1,0 +1,370 @@
+// Incremental recompilation differential suite (assign/incremental.h).
+//
+// The contract under test: assign_modules with a memo store attached — cold,
+// warm, or primed with a *different* stream's entries — produces bytes
+// identical to a memo-less run, at every pool width. The paper-workload
+// cells are additionally pinned to the pooled golden hashes captured from
+// the seed implementation (the same constants as csr_differential_test), so
+// a memo hit that replays stale bytes cannot hide behind a self-consistent
+// diff. On top of identity, the suite checks the reuse machinery itself:
+// warm runs replay clean atoms, weight-only edits reuse the decomposition,
+// frontier misses are accounted, and the probe gate degrades to store-only
+// without touching the output.
+//
+// Per-atom memos engage only in the deterministic atom-task mode (pool set,
+// no budget). Builds with -DPARMEM_FAULT_INJECTION=ON force a budget into
+// every compile, which disables the per-atom memos by design — the reuse
+// assertions are skipped there, the identity assertions are not.
+#include "assign/incremental.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.h"
+#include "assign/assigner.h"
+#include "support/fault_injection.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "workloads/stream_gen.h"
+#include "workloads/workloads.h"
+
+namespace parmem::assign {
+namespace {
+
+// Per-atom memos stay out of budgeted compiles; fault-injection builds
+// force a budget everywhere, so reuse-counting assertions cannot hold.
+constexpr bool kPerAtomMemosActive = PARMEM_FAULT_INJECTION_ENABLED == 0;
+
+// Minimal thread-safe in-memory store: the journal semantics (first-writer
+// -wins, check-hash guard) without any filesystem behind them.
+struct MapStore final : AtomMemoStore {
+  std::optional<std::string> lookup(MemoKind kind, std::uint64_t key,
+                                    std::uint64_t check) override {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = map.find({static_cast<int>(kind), key});
+    if (it == map.end() || it->second.first != check) return std::nullopt;
+    return it->second.second;
+  }
+  void store(MemoKind kind, std::uint64_t key, std::uint64_t check,
+             std::string_view payload) override {
+    std::lock_guard<std::mutex> lock(mu);
+    map.emplace(std::tuple<int, std::uint64_t>{static_cast<int>(kind), key},
+                std::pair<std::uint64_t, std::string>{check,
+                                                      std::string(payload)});
+  }
+  std::mutex mu;
+  std::map<std::tuple<int, std::uint64_t>,
+           std::pair<std::uint64_t, std::string>>
+      map;
+};
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_result(const AssignResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv(h, r.module_count);
+  for (const auto m : r.placement) h = fnv(h, m);
+  for (const bool b : r.removed) h = fnv(h, b ? 1 : 0);
+  h = fnv(h, r.stats.values_used);
+  h = fnv(h, r.stats.single_copy);
+  h = fnv(h, r.stats.multi_copy);
+  h = fnv(h, r.stats.total_copies);
+  h = fnv(h, r.stats.unassigned_after_coloring);
+  h = fnv(h, r.stats.forced);
+  h = fnv(h, r.stats.residual_conflict_tuples);
+  return h;
+}
+
+ir::AccessStream paper_stream(const std::string& name) {
+  const auto& w = workloads::workload(name);
+  analysis::PipelineOptions o;
+  o.sched.fu_count = 8;
+  o.sched.module_count = 8;
+  o.assign.module_count = 8;
+  o.rename = true;
+  return analysis::compile_mc(w.source, o).stream;
+}
+
+// The block-structured synthetic (see workloads::modular_stream): 30 atoms
+// at this size, so clean-atom replay is observable. Used by the edit tests
+// and the width sweep.
+ir::AccessStream modular_base() {
+  workloads::ModularStreamOptions g;
+  g.block_count = 6;
+  g.values_per_block = 64;
+  g.tuples_per_block = 150;
+  support::SplitMix64 rng(0x5eedULL);
+  return workloads::modular_stream(g, rng);
+}
+
+// Duplicates `count` tuples whose operands all fall inside block `block`'s
+// interior (the bridge cliques excluded). A weight-only edit: conflict
+// weights inside the block grow, no new edges, no new values — the
+// decomposition and every other block's atoms stay clean.
+ir::AccessStream duplicate_block_interior(const ir::AccessStream& base,
+                                          std::size_t block,
+                                          std::size_t values_per_block,
+                                          int count) {
+  ir::AccessStream edited = base;
+  int added = 0;
+  const ir::ValueId lo =
+      static_cast<ir::ValueId>(block * values_per_block + 8);
+  const ir::ValueId hi =
+      static_cast<ir::ValueId>((block + 1) * values_per_block - 8);
+  for (std::size_t t = 0; t < base.tuples.size() && added < count; ++t) {
+    bool inside = true;
+    for (const ir::ValueId op : base.tuples[t].operands) {
+      inside = inside && op >= lo && op < hi;
+    }
+    if (inside) {
+      edited.tuples.push_back(base.tuples[t]);
+      ++added;
+    }
+  }
+  EXPECT_EQ(added, count) << "edit generator found too few interior tuples";
+  return edited;
+}
+
+AssignResult run(const ir::AccessStream& stream, std::size_t k, int strategy,
+                 int method, std::size_t workers, AtomMemoStore* store) {
+  support::ThreadPool pool(workers > 0 ? workers - 1 : 0);
+  AssignOptions o;
+  o.module_count = k;
+  o.strategy = static_cast<Strategy>(strategy);
+  o.method = static_cast<DupMethod>(method);
+  if (workers > 0) o.pool = &pool;
+  o.memo_store = store;
+  return assign_modules(stream, o);
+}
+
+struct GoldenRow {
+  const char* stream;
+  int strategy;
+  int method;
+  std::uint64_t pooled_hash;  // any ThreadPool width, k=4
+};
+
+// k=4 pooled goldens captured from the seed implementation — the same
+// constants as the matching rows of csr_differential_test's kGoldens.
+const GoldenRow kGoldens[] = {
+    {"TAYLOR1", 0, 1, 0x6b753649a8e08847ULL},
+    {"TAYLOR1", 0, 0, 0x1b22015a0b2d0fc9ULL},
+    {"TAYLOR2", 0, 1, 0x53097f4bc9631e30ULL},
+    {"TAYLOR2", 0, 0, 0x53097f4bc9631e30ULL},
+    {"EXACT", 0, 1, 0xe8140b347548d05aULL},
+    {"EXACT", 0, 0, 0x09552c7788da0a13ULL},
+    {"FFT", 0, 1, 0xb75f842d25097e9aULL},
+    {"FFT", 0, 0, 0xc6025a8ce71dd83eULL},
+    {"SORT", 0, 1, 0xb5f575231e38594eULL},
+    {"SORT", 0, 0, 0xce33570c97ddf4b8ULL},
+    {"COLOR", 0, 1, 0xc9270ad05a31126bULL},
+    {"COLOR", 0, 0, 0xde771f6884943c77ULL},
+    // STOR2 / STOR3 smoke rows.
+    {"FFT", 1, 1, 0x12f3859e0619de11ULL},
+    {"FFT", 2, 1, 0xf325cc4b20b523c6ULL},
+    {"SORT", 1, 1, 0x821600ba241c1fe5ULL},
+    {"SORT", 2, 1, 0x9f1eb08bfd4aa182ULL},
+};
+
+// Acceptance sweep: every paper workload, pool widths 1/2/4, against a
+// cold store, then a warm one. Cold and warm runs must both land on the
+// seed golden — the memo may only ever change *when* bytes are computed,
+// never which bytes.
+TEST(IncrementalDifferential, PaperWorkloadsMatchSeedGoldensColdAndWarm) {
+  for (const GoldenRow& row : kGoldens) {
+    const ir::AccessStream stream = paper_stream(row.stream);
+    const std::string label = std::string(row.stream) +
+                              " strat=" + std::to_string(row.strategy) +
+                              " method=" + std::to_string(row.method);
+    MapStore store;
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      const AssignResult cold =
+          run(stream, 4, row.strategy, row.method, workers, &store);
+      EXPECT_EQ(hash_result(cold), row.pooled_hash)
+          << label << " cold, width " << workers;
+      const AssignResult warm =
+          run(stream, 4, row.strategy, row.method, workers, &store);
+      EXPECT_EQ(hash_result(warm), row.pooled_hash)
+          << label << " warm, width " << workers;
+      if (kPerAtomMemosActive) {
+        EXPECT_GT(warm.stats.memo_decomp_hits + warm.stats.memo_color_hits,
+                  0u)
+            << label << " warm run reused nothing, width " << workers;
+      }
+    }
+  }
+}
+
+// The synthetic block stream at widths 1/2/4: memo-less, cold, and warm
+// runs all produce one result. The width-1 memo-less run is the reference
+// (the pooled merge is width-independent, so one golden covers all three).
+TEST(IncrementalDifferential, ModularSyntheticIdenticalAcrossWidths) {
+  const ir::AccessStream stream = modular_base();
+  const std::uint64_t ref = hash_result(run(stream, 4, 0, 1, 1, nullptr));
+  MapStore store;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    EXPECT_EQ(hash_result(run(stream, 4, 0, 1, workers, nullptr)), ref)
+        << "memo-less width " << workers;
+    EXPECT_EQ(hash_result(run(stream, 4, 0, 1, workers, &store)), ref)
+        << "cold/warm width " << workers;
+    EXPECT_EQ(hash_result(run(stream, 4, 0, 1, workers, &store)), ref)
+        << "warm width " << workers;
+  }
+}
+
+// An interior edit leaves most atoms' closures unchanged: the recompile
+// replays them from the store and recolors only the dirty block, and the
+// result still matches a from-scratch compile of the edited stream.
+TEST(IncrementalDifferential, EditedStreamReusesCleanAtoms) {
+  const ir::AccessStream base = modular_base();
+  const ir::AccessStream edited =
+      duplicate_block_interior(base, /*block=*/1, 64, 4);
+
+  MapStore store;
+  run(base, 4, 0, 1, 1, &store);  // prime
+  const AssignResult inc = run(edited, 4, 0, 1, 1, &store);
+  const AssignResult scratch = run(edited, 4, 0, 1, 1, nullptr);
+
+  EXPECT_EQ(inc.placement, scratch.placement);
+  EXPECT_EQ(inc.removed, scratch.removed);
+  EXPECT_EQ(hash_result(inc), hash_result(scratch));
+  if (kPerAtomMemosActive) {
+    EXPECT_EQ(inc.stats.memo_decomp_hits, 1u);  // weight-only edit
+    EXPECT_GT(inc.stats.memo_color_hits, inc.stats.memo_color_misses);
+    EXPECT_GT(inc.stats.memo_dup_hits, 0u);
+  }
+}
+
+// When an edit flips a dirty atom's coloring, every atom downstream of it
+// observes a different frontier/load snapshot and recomputes. Those misses
+// are clean atoms (their content hash was journaled before) and must be
+// counted as frontier, and the output must still match from-scratch.
+TEST(IncrementalDifferential, FrontierMissesAreAccounted) {
+  const ir::AccessStream base = modular_base();
+  // Block 2 at k=4 is the known cascade case for this seed: the doubled
+  // weights change the block's coloring, invalidating the downstream
+  // closures.
+  const ir::AccessStream edited =
+      duplicate_block_interior(base, /*block=*/2, 64, 4);
+
+  MapStore store;
+  run(base, 4, 0, 1, 1, &store);
+  const AssignResult inc = run(edited, 4, 0, 1, 1, &store);
+  const AssignResult scratch = run(edited, 4, 0, 1, 1, nullptr);
+
+  EXPECT_EQ(hash_result(inc), hash_result(scratch));
+  if (kPerAtomMemosActive) {
+    EXPECT_GT(inc.stats.memo_frontier, 0u);
+    EXPECT_LE(inc.stats.memo_frontier, inc.stats.memo_color_misses);
+  }
+}
+
+// The probe gate: with an unreachable hit threshold the session stops
+// probing after the window, records the fallback, keeps journaling — and
+// the output is untouched. Gating is a performance decision only.
+TEST(IncrementalDifferential, ProbeGateFallsBackWithoutChangingOutput) {
+  const ir::AccessStream stream = modular_base();
+  const std::uint64_t ref = hash_result(run(stream, 4, 0, 1, 1, nullptr));
+
+  MapStore store;
+  support::ThreadPool pool(0);
+  AssignOptions o;
+  o.module_count = 4;
+  o.strategy = static_cast<Strategy>(0);
+  o.method = static_cast<DupMethod>(1);
+  o.pool = &pool;
+  o.memo_store = &store;
+  o.memo_probe_window = 4;
+  o.memo_min_hit_percent = 101;  // unsatisfiable: gate must trip
+  const AssignResult first = assign_modules(stream, o);
+  EXPECT_EQ(hash_result(first), ref);
+  // Second run: the store is warm, but the gate still trips (101% is
+  // unreachable) and the result is still byte-identical.
+  const AssignResult second = assign_modules(stream, o);
+  EXPECT_EQ(hash_result(second), ref);
+  if (kPerAtomMemosActive) {
+    EXPECT_EQ(first.stats.memo_fallbacks, 1u);
+    EXPECT_EQ(second.stats.memo_fallbacks, 1u);
+    // Post-gate lookups are counted as misses without touching the store.
+    EXPECT_GT(second.stats.memo_color_misses, 0u);
+  }
+}
+
+// The serial path (no pool) takes the legacy whole-graph sweep, where only
+// the decomposition memo applies; the per-atom counters must stay zero and
+// the serial bytes must match a memo-less serial run.
+TEST(IncrementalDifferential, SerialPathUsesOnlyTheDecompositionMemo) {
+  const ir::AccessStream stream = modular_base();
+  const std::uint64_t ref =
+      hash_result(run(stream, 4, 0, 1, /*workers=*/0, nullptr));
+  MapStore store;
+  EXPECT_EQ(hash_result(run(stream, 4, 0, 1, 0, &store)), ref);
+  const AssignResult warm = run(stream, 4, 0, 1, 0, &store);
+  EXPECT_EQ(hash_result(warm), ref);
+  EXPECT_EQ(warm.stats.memo_color_hits + warm.stats.memo_color_misses, 0u);
+  EXPECT_EQ(warm.stats.memo_dup_hits + warm.stats.memo_dup_misses, 0u);
+  if (kPerAtomMemosActive) {
+    EXPECT_EQ(warm.stats.memo_decomp_hits, 1u);
+  }
+}
+
+// A store primed by one stream never contaminates another: closure hashing
+// keys every entry by its full input, so compiling a different stream
+// against the warm store is pure misses — and correct.
+TEST(IncrementalDifferential, ForeignEntriesNeverLeakAcrossStreams) {
+  const ir::AccessStream a = modular_base();
+  workloads::ModularStreamOptions g;
+  g.block_count = 5;
+  g.values_per_block = 48;
+  g.tuples_per_block = 120;
+  support::SplitMix64 rng(0x0ddba11ULL);
+  const ir::AccessStream b = workloads::modular_stream(g, rng);
+
+  MapStore store;
+  run(a, 4, 0, 1, 1, &store);
+  const AssignResult with_foreign = run(b, 4, 0, 1, 1, &store);
+  const AssignResult clean = run(b, 4, 0, 1, 1, nullptr);
+  EXPECT_EQ(hash_result(with_foreign), hash_result(clean));
+  if (kPerAtomMemosActive) {
+    EXPECT_EQ(with_foreign.stats.memo_color_hits, 0u);
+    EXPECT_EQ(with_foreign.stats.memo_decomp_hits, 0u);
+  }
+}
+
+// assign_modules_incremental is a thin driver over the same machinery;
+// its output obeys the same identity, and its config reaches the session.
+TEST(IncrementalDifferential, DriverMatchesAssignModules) {
+  const ir::AccessStream stream = modular_base();
+  support::ThreadPool pool(0);
+  AssignOptions o;
+  o.module_count = 4;
+  o.pool = &pool;
+  const std::uint64_t ref = hash_result(assign_modules(stream, o));
+
+  MapStore store;
+  IncrementalConfig cfg;
+  cfg.store = &store;
+  EXPECT_EQ(hash_result(assign_modules_incremental(stream, o, cfg)), ref);
+  const AssignResult warm = assign_modules_incremental(stream, o, cfg);
+  EXPECT_EQ(hash_result(warm), ref);
+  if (kPerAtomMemosActive) {
+    EXPECT_GT(warm.stats.memo_color_hits, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace parmem::assign

@@ -80,6 +80,38 @@ TEST(SharedCache, ScalesToRealisticTraces) {
   EXPECT_LT(plan.total_placements, items * 4);
 }
 
+TEST(SharedCache, PlanIsDeterministicAcrossRepeatedRuns) {
+  // The incremental driver may replay a cached plan next to a freshly
+  // computed one; byte-identical output requires the planner itself to be
+  // a pure function of its inputs.
+  support::SplitMix64 rng(77);
+  const std::size_t items = 48;
+  std::vector<AccessGroup> groups;
+  for (int g = 0; g < 120; ++g) {
+    AccessGroup grp;
+    const std::size_t width = 2 + rng.below(3);
+    while (grp.items.size() < width) {
+      const auto it = static_cast<std::uint32_t>(rng.below(items));
+      if (std::find(grp.items.begin(), grp.items.end(), it) ==
+          grp.items.end()) {
+        grp.items.push_back(it);
+      }
+    }
+    grp.frequency = 1 + rng.below(100);
+    groups.push_back(std::move(grp));
+  }
+  CachePlanOptions o;
+  o.cache_count = 3;
+  const auto first = plan_shared_caches(items, groups, o);
+  for (int run = 0; run < 3; ++run) {
+    const auto again = plan_shared_caches(items, groups, o);
+    EXPECT_EQ(again.item_caches, first.item_caches);
+    EXPECT_EQ(again.multi_hit_weight_after, first.multi_hit_weight_after);
+    EXPECT_EQ(again.replicated_items, first.replicated_items);
+    EXPECT_EQ(again.total_placements, first.total_placements);
+  }
+}
+
 TEST(SharedCache, RejectsBadInput) {
   CachePlanOptions o;
   o.cache_count = 2;

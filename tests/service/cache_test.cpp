@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -131,6 +132,56 @@ TEST_F(CacheTest, EntryPathUsesSixteenHexDigits) {
   ResultCache cache(dir_str());
   const std::string path = cache.entry_path(0x1a2bULL);
   EXPECT_NE(path.find("0000000000001a2b.res"), std::string::npos);
+}
+
+TEST_F(CacheTest, LruEvictionCapsEntriesAndUnlinksJournalFiles) {
+  ResultCache cache(dir_str(), /*max_entries=*/3);
+  for (std::uint64_t k = 1; k <= 5; ++k) {
+    cache.store(k, "entry-" + std::to_string(k));
+  }
+  // Insertion order 1..5 with no lookups between: 1 and 2 are the LRU
+  // victims; their journal files are gone too.
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evicted, 2u);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_EQ(cache.lookup(5).value(), "entry-5");
+  EXPECT_FALSE(fs::exists(cache.entry_path(1)));
+  EXPECT_FALSE(fs::exists(cache.entry_path(2)));
+  EXPECT_TRUE(fs::exists(cache.entry_path(3)));
+}
+
+TEST_F(CacheTest, LookupRefreshesRecency) {
+  ResultCache cache("", /*max_entries=*/2);
+  cache.store(1, "one");
+  cache.store(2, "two");
+  // Touch 1 so 2 becomes the LRU victim when 3 arrives.
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  cache.store(3, "three");
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+}
+
+TEST_F(CacheTest, WarmRestartRebuildsRecencyFromMtime) {
+  {
+    ResultCache cache(dir_str());
+    for (std::uint64_t k = 1; k <= 4; ++k) {
+      cache.store(k, "entry-" + std::to_string(k));
+    }
+    // Make entry 1 the *newest* on disk regardless of write order.
+    const auto now = fs::last_write_time(cache.entry_path(2));
+    fs::last_write_time(cache.entry_path(1), now + std::chrono::seconds(10));
+    fs::last_write_time(cache.entry_path(3), now - std::chrono::seconds(10));
+  }
+  // A capped warm restart loads everything, then evicts by mtime age:
+  // 3 (oldest) goes first, 1 (newest) survives.
+  ResultCache warm(dir_str(), /*max_entries=*/2);
+  EXPECT_EQ(warm.stats().loaded, 4u);
+  EXPECT_EQ(warm.stats().evicted, 2u);
+  EXPECT_TRUE(warm.lookup(1).has_value());
+  EXPECT_FALSE(warm.lookup(3).has_value());
+  EXPECT_FALSE(fs::exists(warm.entry_path(3)));
 }
 
 TEST_F(CacheTest, AtomicWriteHelperPublishesAllOrNothing) {
