@@ -1,0 +1,77 @@
+// Worker channels: the router's transport + lifecycle handle for one
+// parmemd-compatible worker.
+//
+// A channel is a full-duplex framed byte stream (service/frame.h over one
+// end of a socketpair) plus the three lifecycle operations supervision
+// needs: stop_input (graceful — the worker sees EOF, drains, and exits),
+// kill (crash hammer — the socket is slammed shut and, for a process
+// worker, the child is SIGKILLed), and join (reap). Two implementations:
+//
+//   * spawn_process_worker — fork/execs a parmemd binary with the worker
+//     end of the socketpair as its stdin/stdout (parmemd's stdio mode is
+//     exactly this protocol), stderr appended to a per-worker log file.
+//     This is the production shape and what the chaos CI job SIGKILLs.
+//   * spawn_inprocess_worker — a CompileService + service::serve loop on a
+//     std::thread behind the same socketpair. No binary path, no fork: the
+//     unit tests' and default bench backend. kill() shuts the socket down
+//     hard, which is indistinguishable on the wire from a crashed process.
+//
+// The router never learns which kind it holds — respawn is "make another
+// channel with the same worker index", which is also what keeps cache
+// affinity: a respawned worker reuses its per-index journal directory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/frame.h"
+#include "service/server.h"
+
+namespace parmem::router {
+
+class WorkerChannel {
+ public:
+  virtual ~WorkerChannel() = default;
+
+  /// The framed duplex stream to the worker. Valid until the channel is
+  /// destroyed; reads unblock with EOF after kill().
+  virtual service::ByteStream& stream() = 0;
+
+  /// Graceful stop: half-closes the worker's input so it drains queued
+  /// work, writes its remaining responses, and exits.
+  virtual void stop_input() = 0;
+
+  /// Hard kill: slams the socket shut (and SIGKILLs a process worker).
+  /// Pending reads on stream() unblock; in-flight work is lost.
+  virtual void kill() = 0;
+
+  /// Reaps the worker. Returns true when it exited cleanly (exit code 0 /
+  /// serve loop returned); false after a kill or crash.
+  virtual bool join() = 0;
+
+  /// The in-process worker's service, or nullptr for a process worker.
+  /// Tests use it to assert on worker-side cache/counter state.
+  virtual service::CompileService* service() { return nullptr; }
+};
+
+/// Makes a channel for worker `index`, incarnation `incarnation` (0 for
+/// the first spawn, bumped per respawn). The factory pins everything that
+/// must survive a respawn — binary path, per-index cache directory.
+using WorkerFactory = std::function<std::unique_ptr<WorkerChannel>(
+    std::uint32_t index, std::uint32_t incarnation)>;
+
+/// fork/execs `argv` (argv[0] is the parmemd binary path) with the worker
+/// end of a socketpair as stdin/stdout. When `stderr_path` is non-empty the
+/// child's stderr is appended there (both incarnations of a respawned
+/// worker share one log). Throws support::UserError when the spawn fails.
+std::unique_ptr<WorkerChannel> spawn_process_worker(
+    const std::vector<std::string>& argv, const std::string& stderr_path = "");
+
+/// A CompileService + serve loop on a thread behind a socketpair.
+std::unique_ptr<WorkerChannel> spawn_inprocess_worker(
+    const service::ServiceOptions& opts);
+
+}  // namespace parmem::router

@@ -1,0 +1,103 @@
+#include "router/ring.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace parmem::router {
+namespace {
+
+/// SplitMix64 finalizer — decorrelates ring positions from the raw FNV
+/// structure of cache keys and from the dense worker/replica integers.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The ring position of (worker, replica) — a pure function of the pair,
+/// so a worker's points are identical in every process and every run.
+std::uint64_t point_hash(std::uint32_t worker, std::uint32_t replica) {
+  return mix64((static_cast<std::uint64_t>(worker) << 32) | replica);
+}
+
+std::uint64_t key_hash(std::uint64_t key) { return mix64(key); }
+
+}  // namespace
+
+HashRing::HashRing(std::size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes == 0 ? 1 : virtual_nodes) {}
+
+HashRing::HashRing(std::size_t worker_count, std::size_t virtual_nodes)
+    : HashRing(virtual_nodes) {
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    add_worker(static_cast<std::uint32_t>(w));
+  }
+}
+
+void HashRing::add_worker(std::uint32_t worker) {
+  if (contains(worker)) return;
+  workers_.insert(
+      std::lower_bound(workers_.begin(), workers_.end(), worker), worker);
+  points_.reserve(points_.size() + virtual_nodes_);
+  for (std::size_t r = 0; r < virtual_nodes_; ++r) {
+    points_.push_back({point_hash(worker, static_cast<std::uint32_t>(r)),
+                       worker});
+  }
+  // Tie order on equal hashes is (hash, worker) so even a (vanishingly
+  // unlikely) point collision resolves identically in every build.
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.worker < b.worker;
+  });
+}
+
+void HashRing::remove_worker(std::uint32_t worker) {
+  const auto it = std::lower_bound(workers_.begin(), workers_.end(), worker);
+  if (it == workers_.end() || *it != worker) return;
+  workers_.erase(it);
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [worker](const Point& p) {
+                                 return p.worker == worker;
+                               }),
+                points_.end());
+}
+
+bool HashRing::contains(std::uint32_t worker) const {
+  return std::binary_search(workers_.begin(), workers_.end(), worker);
+}
+
+std::size_t HashRing::lookup_index(std::uint64_t key) const {
+  PARMEM_CHECK(!points_.empty(), "lookup on an empty ring");
+  const std::uint64_t h = key_hash(key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t hash) { return p.hash < hash; });
+  // Wrap past the last point back to the first — the ring is circular.
+  return it == points_.end() ? 0
+                             : static_cast<std::size_t>(it - points_.begin());
+}
+
+std::optional<std::uint32_t> HashRing::owner(std::uint64_t key) const {
+  if (points_.empty()) return std::nullopt;
+  return points_[lookup_index(key)].worker;
+}
+
+std::vector<std::uint32_t> HashRing::failover_order(std::uint64_t key) const {
+  std::vector<std::uint32_t> order;
+  if (points_.empty()) return order;
+  order.reserve(workers_.size());
+  std::vector<bool> seen(workers_.back() + 1, false);
+  const std::size_t start = lookup_index(key);
+  for (std::size_t i = 0; i < points_.size() && order.size() < workers_.size();
+       ++i) {
+    const Point& p = points_[(start + i) % points_.size()];
+    if (!seen[p.worker]) {
+      seen[p.worker] = true;
+      order.push_back(p.worker);
+    }
+  }
+  return order;
+}
+
+}  // namespace parmem::router

@@ -1,0 +1,76 @@
+// Consistent-hash ring for the parmemd worker fleet.
+//
+// The router keys every request by its cacheable-part hash
+// (service::cache_key — FNV-1a over the canonical request encoding with the
+// id zeroed), so equal compile inputs always map to the same worker and
+// that worker's result/atom caches stay warm. The ring makes the mapping
+// survive fleet events:
+//
+//   * each worker owns `virtual_nodes` points on a 64-bit ring, derived
+//     purely from its index — membership is a *set*, never a sequence, so
+//     the assignment is byte-identical regardless of join order;
+//   * a key's owner is the first point at or clockwise of the key's hash;
+//   * failover_order(key) lists every worker exactly once in ring-traversal
+//     order from that point — the router sends to the first entry that is
+//     alive and below its in-flight high watermark, so a crashed or
+//     saturated worker spills deterministically to the same successor every
+//     time, and the keys of a respawned worker come straight back to it
+//     (its points never moved).
+//
+// Everything here is a pure function of (worker set, key): no clocks, no
+// randomness, no mutation on lookup. The router serializes membership
+// changes externally; const lookups are safe to share across threads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace parmem::router {
+
+/// Virtual points per worker. More points flatten the load split between
+/// workers (the classic consistent-hashing variance argument) at the cost
+/// of a larger sorted array; 64 keeps the per-worker share within a few
+/// percent of uniform for small fleets.
+inline constexpr std::size_t kDefaultVirtualNodes = 64;
+
+class HashRing {
+ public:
+  explicit HashRing(std::size_t virtual_nodes = kDefaultVirtualNodes);
+
+  /// Convenience: a ring over workers 0..worker_count-1.
+  HashRing(std::size_t worker_count, std::size_t virtual_nodes);
+
+  /// Adds `worker`'s points to the ring. Idempotent.
+  void add_worker(std::uint32_t worker);
+
+  /// Removes `worker`'s points. Removing and re-adding reproduces the
+  /// original ring exactly. Idempotent.
+  void remove_worker(std::uint32_t worker);
+
+  bool contains(std::uint32_t worker) const;
+  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t virtual_nodes() const { return virtual_nodes_; }
+
+  /// The ring-primary worker for `key`, or nullopt on an empty ring.
+  std::optional<std::uint32_t> owner(std::uint64_t key) const;
+
+  /// Deterministic failover order: every member worker exactly once, the
+  /// owner first, then successors in ring-traversal order. Empty on an
+  /// empty ring.
+  std::vector<std::uint32_t> failover_order(std::uint64_t key) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t worker;
+  };
+
+  std::size_t lookup_index(std::uint64_t key) const;
+
+  std::size_t virtual_nodes_;
+  std::vector<Point> points_;           // sorted by (hash, worker)
+  std::vector<std::uint32_t> workers_;  // sorted member set
+};
+
+}  // namespace parmem::router

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include <poll.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include "support/diagnostics.h"
@@ -13,6 +14,51 @@ namespace parmem::service {
 namespace {
 
 constexpr std::size_t kHeaderBytes = 8;
+
+/// Blocks SIGPIPE on the calling thread for the duration of a write, and
+/// consumes any SIGPIPE the write generated before restoring the previous
+/// mask. Writing to a peer that vanished (a SIGKILLed worker, a client
+/// that hung up) must surface as an EPIPE transport error the caller can
+/// catch — never process death. Per-thread masking keeps this local: no
+/// global SIG_IGN that would stomp an embedding application's handler.
+class ScopedSigpipeBlock {
+ public:
+  ScopedSigpipeBlock() {
+    sigset_t pipe_only;
+    sigemptyset(&pipe_only);
+    sigaddset(&pipe_only, SIGPIPE);
+    armed_ = ::pthread_sigmask(SIG_BLOCK, &pipe_only, &old_mask_) == 0;
+  }
+
+  ~ScopedSigpipeBlock() {
+    // If the caller had SIGPIPE blocked already, any pending instance is
+    // theirs to handle — leave the mask and the pending set alone.
+    if (!armed_ || sigismember(&old_mask_, SIGPIPE) == 1) return;
+    sigset_t pending;
+    sigemptyset(&pending);
+    sigpending(&pending);
+    if (sigismember(&pending, SIGPIPE) == 1) {
+      // A write raised SIGPIPE while blocked; swallow it so restoring the
+      // mask doesn't deliver a fatal signal out of nowhere.
+      sigset_t pipe_only;
+      sigemptyset(&pipe_only);
+      sigaddset(&pipe_only, SIGPIPE);
+      timespec zero{0, 0};
+      int sig;
+      do {
+        sig = ::sigtimedwait(&pipe_only, nullptr, &zero);
+      } while (sig < 0 && errno == EINTR);
+    }
+    ::pthread_sigmask(SIG_SETMASK, &old_mask_, nullptr);
+  }
+
+  ScopedSigpipeBlock(const ScopedSigpipeBlock&) = delete;
+  ScopedSigpipeBlock& operator=(const ScopedSigpipeBlock&) = delete;
+
+ private:
+  sigset_t old_mask_{};
+  bool armed_ = false;
+};
 
 void put_u32le(char* out, std::uint32_t v) {
   out[0] = static_cast<char>(v & 0xFF);
@@ -129,11 +175,17 @@ std::size_t FdStream::read_some(char* buf, std::size_t n) {
 }
 
 void FdStream::write_all(const char* buf, std::size_t n) {
+  ScopedSigpipeBlock no_sigpipe;
   std::size_t done = 0;
   while (done < n) {
     const ssize_t w = ::write(write_fd_, buf + done, n - done);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE) {
+        throw support::UserError("write failed: peer closed the stream (" +
+                                 std::to_string(done) + " of " +
+                                 std::to_string(n) + " bytes written)");
+      }
       throw support::UserError(std::string("write failed: ") +
                                std::strerror(errno));
     }

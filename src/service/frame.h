@@ -75,7 +75,11 @@ class MemoryStream : public ByteStream {
 };
 
 /// File-descriptor ByteStream for pipes and sockets. Does not own the fds.
-/// When `interrupt_fd` >= 0, a pending read also waits on it; the moment it
+/// Writes block SIGPIPE for their duration (per-thread mask, pending signal
+/// consumed) so a vanished peer is a catchable UserError transport failure
+/// instead of process death — the router supervises crashy workers through
+/// exactly this path. When `interrupt_fd` >= 0, a pending read also waits
+/// on it; the moment it
 /// becomes readable the stream reports EOF — parmemd points it at the
 /// SIGTERM self-pipe so shutdown unblocks the frame loop and flows through
 /// the ordinary graceful-drain path.

@@ -544,6 +544,14 @@ void CompileService::process(std::unique_ptr<Job> job) {
 }
 
 std::uint64_t serve(ByteStream& stream, CompileService& service) {
+  return serve_frames(stream,
+                      [&service](CompileRequest req,
+                                 CompileService::Callback done) {
+                        service.submit(std::move(req), std::move(done));
+                      });
+}
+
+std::uint64_t serve_frames(ByteStream& stream, const SubmitFn& submit) {
   std::mutex io_mu;  // guards write_frame and `written`
   std::uint64_t written = 0;
   std::mutex pending_mu;
@@ -587,7 +595,7 @@ std::uint64_t serve(ByteStream& stream, CompileService& service) {
       std::lock_guard<std::mutex> lk(pending_mu);
       ++pending;
     }
-    service.submit(std::move(req), [&](const CompileResponse& resp) {
+    submit(std::move(req), [&](const CompileResponse& resp) {
       write_response(resp);
       // Notify under the lock: the waiter in serve() destroys pending_cv
       // as soon as it observes pending == 0, so the broadcast must have

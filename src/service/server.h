@@ -215,6 +215,18 @@ class CompileService {
 /// every submitted request to reach its terminal response before returning.
 std::uint64_t serve(ByteStream& stream, CompileService& service);
 
+/// The asynchronous submit shape shared by CompileService and the router:
+/// the callback fires exactly once with the terminal response, possibly on
+/// another thread.
+using SubmitFn =
+    std::function<void(CompileRequest, CompileService::Callback)>;
+
+/// The frame loop of serve() over an arbitrary submit function — parmemd
+/// points it at a local CompileService, parmem-router at a worker fleet;
+/// the wire behavior (id-0 error responses, malformed-frame shutdown,
+/// drain-before-return) is identical by construction.
+std::uint64_t serve_frames(ByteStream& stream, const SubmitFn& submit);
+
 /// Builds a minimal terminal response (no artifact) for error paths.
 CompileResponse error_response(std::uint64_t id, ResponseStatus status,
                                std::string diagnostic);

@@ -47,6 +47,8 @@ const std::vector<std::string>& FaultInjector::known_sites() {
       "pipeline.schedule",
       "pipeline.verify",
       "pool.task",
+      "router.spawn",
+      "router.worker_response",
       "service.admit",
       "service.cache_load",
       "service.cache_store",

@@ -1,6 +1,7 @@
 #include "telemetry/export.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <string_view>
@@ -105,28 +106,56 @@ bool write_chrome_trace(const std::string& path,
   return true;
 }
 
-std::string phase_summary(const std::vector<Lane>& lanes) {
-  struct Agg {
-    std::uint64_t count = 0;
-    std::uint64_t total_ns = 0;
-    std::uint64_t max_ns = 0;
+DurationStats duration_stats(std::vector<std::uint64_t>& durations_ns) {
+  DurationStats s;
+  if (durations_ns.empty()) return s;
+  std::sort(durations_ns.begin(), durations_ns.end());
+  s.count = durations_ns.size();
+  for (const std::uint64_t d : durations_ns) s.total_ns += d;
+  s.max_ns = durations_ns.back();
+  const auto rank = [&durations_ns](double p) {
+    // Nearest rank: index ceil(p * N) - 1, clamped into the sample.
+    const double n = static_cast<double>(durations_ns.size());
+    std::size_t idx = static_cast<std::size_t>(std::ceil(p * n));
+    if (idx > 0) --idx;
+    if (idx >= durations_ns.size()) idx = durations_ns.size() - 1;
+    return durations_ns[idx];
   };
-  std::map<std::string_view, Agg> by_name;
+  s.p50_ns = rank(0.50);
+  s.p99_ns = rank(0.99);
+  s.p999_ns = rank(0.999);
+  return s;
+}
+
+std::vector<std::uint64_t> span_durations_ns(const std::vector<Lane>& lanes,
+                                             std::string_view name) {
+  std::vector<std::uint64_t> out;
+  for (const Lane& lane : lanes) {
+    for (const TraceEvent& e : lane.events) {
+      if (e.kind == EventKind::kSpan && name == e.name) {
+        out.push_back(e.t1_ns - e.t0_ns);
+      }
+    }
+  }
+  return out;
+}
+
+std::string phase_summary(const std::vector<Lane>& lanes) {
+  std::map<std::string_view, std::vector<std::uint64_t>> by_name;
   std::uint64_t dropped = 0;
   for (const Lane& lane : lanes) {
     dropped += lane.dropped;
     for (const TraceEvent& e : lane.events) {
       if (e.kind != EventKind::kSpan) continue;
-      Agg& a = by_name[e.name];
-      const std::uint64_t d = e.t1_ns - e.t0_ns;
-      ++a.count;
-      a.total_ns += d;
-      a.max_ns = std::max(a.max_ns, d);
+      by_name[e.name].push_back(e.t1_ns - e.t0_ns);
     }
   }
 
-  std::vector<std::pair<std::string_view, Agg>> rows(by_name.begin(),
-                                                     by_name.end());
+  std::vector<std::pair<std::string_view, DurationStats>> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, durations] : by_name) {
+    rows.emplace_back(name, duration_stats(durations));
+  }
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
     if (a.second.total_ns != b.second.total_ns) {
       return a.second.total_ns > b.second.total_ns;
@@ -134,16 +163,20 @@ std::string phase_summary(const std::vector<Lane>& lanes) {
     return a.first < b.first;
   });
 
-  support::TextTable t({"span", "count", "total ms", "mean ms", "max ms"});
+  support::TextTable t({"span", "count", "total ms", "mean ms", "p50 ms",
+                        "p99 ms", "p999 ms", "max ms"});
   t.set_align(0, support::Align::kLeft);
+  const auto fmt_ms = [](std::uint64_t ns) {
+    return support::format_fixed(static_cast<double>(ns) / 1e6, 3);
+  };
   for (const auto& [name, a] : rows) {
     const double total_ms = static_cast<double>(a.total_ns) / 1e6;
     t.add_row({std::string(name), std::to_string(a.count),
                support::format_fixed(total_ms, 3),
                support::format_fixed(total_ms / static_cast<double>(a.count),
                                      3),
-               support::format_fixed(static_cast<double>(a.max_ns) / 1e6,
-                                     3)});
+               fmt_ms(a.p50_ns), fmt_ms(a.p99_ns), fmt_ms(a.p999_ns),
+               fmt_ms(a.max_ns)});
   }
   std::string out = t.render();
   if (dropped > 0) {

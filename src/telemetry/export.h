@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "telemetry/registry.h"
@@ -29,8 +30,31 @@ std::string to_chrome_trace(const std::vector<Lane>& lanes,
 bool write_chrome_trace(const std::string& path,
                         const std::vector<Lane>& lanes, std::uint64_t t0_ns);
 
+/// Order statistics over a set of durations — the one definition of
+/// p50/p99/p999 shared by the phase summary and the service-load bench, so
+/// a router SLO quoted from BENCH_service.json and one quoted from --stats
+/// are the same number. Percentiles are nearest-rank: the smallest element
+/// with at least p% of the sample at or below it (index ceil(p/100*N)-1 of
+/// the sorted sample), so every reported value is an observed duration.
+struct DurationStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+};
+
+/// Computes DurationStats over `durations_ns` (sorted in place). All-zero
+/// on an empty sample.
+DurationStats duration_stats(std::vector<std::uint64_t>& durations_ns);
+
+/// Collects the durations of every span named `name` across `lanes`.
+std::vector<std::uint64_t> span_durations_ns(const std::vector<Lane>& lanes,
+                                             std::string_view name);
+
 /// Aggregates span events by name across all lanes and renders:
-///   span | count | total ms | mean ms | max ms
+///   span | count | total ms | mean ms | p50 ms | p99 ms | p999 ms | max ms
 /// sorted by total descending. Lanes with ring-full drops are flagged in a
 /// trailing note.
 std::string phase_summary(const std::vector<Lane>& lanes);

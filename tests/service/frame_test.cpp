@@ -5,6 +5,7 @@
 #include "service/frame.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <string>
@@ -169,6 +170,30 @@ TEST(FdStreamTest, InterruptFdUnblocksAsCleanEof) {
   for (const int fd : {data[0], data[1], interrupt[0], interrupt[1]}) {
     ::close(fd);
   }
+}
+
+TEST(FdStreamTest, WriteToClosedPeerIsATransportErrorNotSigpipe) {
+  // A router worker that crashes mid-request leaves the front tier writing
+  // into a closed socket. Default SIGPIPE disposition would kill the whole
+  // process; write_all must mask it and surface EPIPE as the same typed
+  // UserError every other transport failure uses. This test runs with
+  // SIGPIPE at SIG_DFL — if the masking regresses, the test binary dies.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);  // peer gone before we write
+  FdStream writer(-1, fds[0]);
+  const std::string chunk(1 << 16, 'x');
+  EXPECT_THROW(
+      {
+        // The first write may land in the send buffer; keep going until the
+        // peer closure surfaces (one round is enough on Linux, the loop
+        // just keeps the test robust).
+        for (int i = 0; i < 64; ++i) {
+          writer.write_all(chunk.data(), chunk.size());
+        }
+      },
+      support::UserError);
+  ::close(fds[0]);
 }
 
 }  // namespace

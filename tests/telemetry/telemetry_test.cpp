@@ -214,9 +214,51 @@ TEST(Export, PhaseSummaryAggregates) {
   EXPECT_NE(table.find("phase.beta"), std::string::npos);
   EXPECT_NE(table.find("count"), std::string::npos);
   EXPECT_NE(table.find("2"), std::string::npos);  // alpha's count
+  // Tail-latency columns (the router SLO surface reads these).
+  EXPECT_NE(table.find("p50 ms"), std::string::npos);
+  EXPECT_NE(table.find("p99 ms"), std::string::npos);
+  EXPECT_NE(table.find("p999 ms"), std::string::npos);
   // Counter/instant events are not spans and do not appear.
   EXPECT_EQ(table.find("metric.x"), std::string::npos);
   EXPECT_EQ(table.find("mark"), std::string::npos);
+}
+
+TEST(Export, DurationStatsUsesNearestRankPercentiles) {
+  // 1..1000 us, deliberately unsorted on input (duration_stats sorts).
+  std::vector<std::uint64_t> ns;
+  for (std::uint64_t i = 1000; i >= 1; --i) ns.push_back(i * 1000);
+  const DurationStats s = duration_stats(ns);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.p50_ns, 500000u);    // ceil(0.50*1000) = rank 500
+  EXPECT_EQ(s.p99_ns, 990000u);    // ceil(0.99*1000) = rank 990
+  EXPECT_EQ(s.p999_ns, 999000u);   // ceil(0.999*1000) = rank 999
+  EXPECT_EQ(s.max_ns, 1000000u);
+  EXPECT_EQ(s.total_ns, 500500000u);
+}
+
+TEST(Export, DurationStatsEdgeCases) {
+  std::vector<std::uint64_t> empty;
+  const DurationStats zero = duration_stats(empty);
+  EXPECT_EQ(zero.count, 0u);
+  EXPECT_EQ(zero.p999_ns, 0u);
+  EXPECT_EQ(zero.max_ns, 0u);
+
+  std::vector<std::uint64_t> one = {42};
+  const DurationStats solo = duration_stats(one);
+  EXPECT_EQ(solo.count, 1u);
+  // Every percentile of a single sample is that sample.
+  EXPECT_EQ(solo.p50_ns, 42u);
+  EXPECT_EQ(solo.p99_ns, 42u);
+  EXPECT_EQ(solo.p999_ns, 42u);
+  EXPECT_EQ(solo.max_ns, 42u);
+}
+
+TEST(Export, SpanDurationsFilterByName) {
+  const std::vector<Lane> lanes = sample_lanes();
+  const auto alpha = span_durations_ns(lanes, "phase.alpha");
+  EXPECT_EQ(alpha.size(), 2u);
+  const auto none = span_durations_ns(lanes, "no.such.span");
+  EXPECT_TRUE(none.empty());
 }
 
 TEST(Export, PhaseSummaryFlagsDrops) {
