@@ -7,7 +7,10 @@
 // workers spill to their ring successors, crashed workers are respawned
 // with bounded jittered backoff while their in-flight requests are
 // re-driven — every client request still gets exactly one terminal
-// response (src/router/router.h).
+// response (src/router/router.h). A worker that fails for good (respawns
+// exhausted) is rebalanced: its ring points are retired, its keyspace
+// re-homes to the survivors, and for local fleets with --cache-dir its
+// result journal is migrated to the new owners' shards.
 //
 //   parmem-router [options]                stdio mode: frames on stdin/stdout
 //   parmem-router --socket PATH [options]  unix-socket mode: sequential
@@ -17,6 +20,14 @@
 //   --fleet N             worker fleet size (default 2)
 //   --parmemd PATH        fork/exec PATH as each worker (parmemd stdio
 //                         mode); default is an in-process service per worker
+//   --tcp HOST:PORT       connect to a remote parmemd --listen-tcp as a
+//                         worker instead of spawning one; repeat the flag
+//                         (or comma-separate endpoints) for a fleet — the
+//                         fleet size is the endpoint count. A "respawn" is
+//                         a reconnect with bounded jittered backoff, so a
+//                         restarted daemon rejoins with its cache warm.
+//                         Excludes --parmemd and --cache-dir (the journals
+//                         live with the remote daemons).
 //   --cache-dir DIR       per-worker result-cache journals DIR/w<i> — the
 //                         shard a worker re-warms from after a respawn
 //   --incremental         per-worker atom caches DIR/w<i>.atoms (needs
@@ -53,9 +64,11 @@
 #include <string>
 #include <vector>
 
+#include "router/rebalance.h"
 #include "router/router.h"
 #include "service/frame.h"
 #include "service/server.h"
+#include "support/net.h"
 #include "telemetry/export.h"
 #include "telemetry/session.h"
 
@@ -89,7 +102,8 @@ void install_signal_pipe() {
 int usage() {
   std::fprintf(stderr,
                "usage: parmem-router [--socket PATH] [--fleet N] "
-               "[--parmemd PATH] [--cache-dir DIR] [--incremental] "
+               "[--parmemd PATH] [--tcp HOST:PORT[,HOST:PORT...]] "
+               "[--cache-dir DIR] [--incremental] "
                "[--worker-threads N] [--queue-cap N] [--inflight-high N] "
                "[--deadline-ms N] [--heartbeat-ms N] "
                "[--heartbeat-timeout-ms N] [--max-respawns N] "
@@ -100,6 +114,7 @@ int usage() {
 struct FleetConfig {
   std::string parmemd_path;  // empty = in-process workers
   std::string cache_dir;     // per-worker journals under here
+  std::vector<support::HostPort> tcp_endpoints;  // remote daemons, by index
   bool incremental = false;
   std::size_t worker_threads = 1;
   std::size_t queue_cap = 64;
@@ -119,6 +134,16 @@ std::string worker_cache_dir(const FleetConfig& cfg, std::uint32_t index) {
 /// *index* only, so incarnation K+1 reopens incarnation K's cache journal
 /// and re-warms its shard of the key space.
 router::WorkerFactory make_factory(const FleetConfig& cfg) {
+  if (!cfg.tcp_endpoints.empty()) {
+    // Remote fleet: a "spawn" is a connect, a "respawn" is a reconnect.
+    // The endpoint is pinned by index, so a restarted daemon at the same
+    // address gets its old shard (and its warm on-disk journal) back.
+    return [endpoints = cfg.tcp_endpoints](std::uint32_t index,
+                                           std::uint32_t) {
+      const support::HostPort& ep = endpoints[index];
+      return router::connect_tcp_worker(ep.host, ep.port);
+    };
+  }
   if (cfg.parmemd_path.empty()) {
     return [cfg](std::uint32_t index, std::uint32_t) {
       service::ServiceOptions opts;
@@ -180,6 +205,15 @@ void print_router_summary(const router::Router& rt) {
                (unsigned long long)c.heartbeats_missed,
                (unsigned long long)c.late_responses,
                (unsigned long long)c.protocol_errors);
+  if (c.rebalanced != 0) {
+    std::fprintf(stderr,
+                 "parmem-router: rebalanced %llu migrated %llu recycled "
+                 "%llu ring-digest %016llx\n",
+                 (unsigned long long)c.rebalanced,
+                 (unsigned long long)c.migrated_entries,
+                 (unsigned long long)c.recycled_workers,
+                 (unsigned long long)rt.ring_digest());
+  }
   for (const auto& w : rt.workers()) {
     const char* state = w.state == router::Router::WorkerState::kUp ? "up"
                         : w.state == router::Router::WorkerState::kDead
@@ -239,7 +273,7 @@ int run_socket(const std::string& path, router::Router& rt) {
     }
     if (fds[1].revents != 0) break;  // SIGTERM/SIGINT
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    const int conn = support::accept_with_retry(listen_fd);
     if (conn < 0) continue;
     service::FdStream stream(conn, conn, g_signal_pipe[0]);
     served += serve_router(stream, rt);
@@ -284,6 +318,19 @@ int run_router(int argc, char** argv) {
       ropts.workers = static_cast<std::size_t>(next_count());
     } else if (arg == "--parmemd") {
       cfg.parmemd_path = next();
+    } else if (arg == "--tcp") {
+      // Repeatable, and each value may hold a comma-separated list.
+      std::string specs = next();
+      std::size_t start = 0;
+      while (start <= specs.size()) {
+        std::size_t comma = specs.find(',', start);
+        if (comma == std::string::npos) comma = specs.size();
+        const std::string one = specs.substr(start, comma - start);
+        if (!one.empty()) {
+          cfg.tcp_endpoints.push_back(support::parse_host_port(one));
+        }
+        start = comma + 1;
+      }
     } else if (arg == "--cache-dir") {
       cfg.cache_dir = next();
     } else if (arg == "--incremental") {
@@ -310,11 +357,28 @@ int run_router(int argc, char** argv) {
       return usage();
     }
   }
+  if (!cfg.tcp_endpoints.empty()) {
+    if (!cfg.parmemd_path.empty()) {
+      throw support::UserError("--tcp and --parmemd are exclusive");
+    }
+    if (!cfg.cache_dir.empty()) {
+      throw support::UserError(
+          "--tcp excludes --cache-dir: journals live with the remote "
+          "daemons (give parmemd --cache-dir there)");
+    }
+    ropts.workers = cfg.tcp_endpoints.size();
+  }
   if (ropts.workers == 0) {
     throw support::UserError("--fleet must be at least 1");
   }
   if (cfg.incremental && cfg.cache_dir.empty()) {
     throw support::UserError("--incremental needs --cache-dir");
+  }
+  // Local fleets with a shared cache root get on-disk shard migration on
+  // permanent worker failure; the recycled successors then warm-load the
+  // merged journal on respawn.
+  if (!cfg.cache_dir.empty()) {
+    ropts.shard_migrator = router::cache_dir_migrator(cfg.cache_dir);
   }
 
   install_signal_pipe();

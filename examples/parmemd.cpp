@@ -8,6 +8,15 @@
 //   parmemd [options]                 stdio mode: frames on stdin/stdout
 //   parmemd --socket PATH [options]   unix-socket mode: sequential accept
 //                                     loop, one client served at a time
+//   parmemd --listen-tcp HOST:PORT    TCP mode: same sequential accept loop
+//                                     over the network (parmem_router --tcp
+//                                     connects here). Port 0 binds an
+//                                     ephemeral port; the bound address is
+//                                     printed to stderr as
+//                                     "parmemd: listening on HOST:PORT".
+//                                     The daemon outlives its connections:
+//                                     a router reconnecting after a network
+//                                     fault finds the same warm service.
 //   parmemd --soak SECONDS [options]  in-process chaos soak (the CI job):
 //                                     mixed valid/malformed requests with
 //                                     random deadlines; exits non-zero if
@@ -59,6 +68,7 @@
 #include "service/frame.h"
 #include "service/request.h"
 #include "service/server.h"
+#include "support/net.h"
 #include "support/rng.h"
 #include "telemetry/export.h"
 #include "telemetry/session.h"
@@ -96,7 +106,8 @@ void install_signal_pipe() {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: parmemd [--socket PATH | --soak SECONDS] "
+               "usage: parmemd [--socket PATH | --listen-tcp HOST:PORT | "
+               "--soak SECONDS] "
                "[--cache-dir DIR] [--cache-max-entries N] [--incremental] "
                "[--atom-cache DIR] [--atom-cache-max N] [--workers N] "
                "[--queue-cap N] [--deadline-ms N] [--grace-ms N] "
@@ -181,7 +192,11 @@ int run_socket(const std::string& path, const service::ServiceOptions& opts) {
     }
     if (fds[1].revents != 0) break;  // SIGTERM/SIGINT
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    // accept_with_retry rides out EINTR and transient fd/memory
+    // exhaustion (bounded backoff, connections wait in the backlog)
+    // instead of dropping the connection — or worse, exiting the loop —
+    // on the first blip.
+    const int conn = support::accept_with_retry(listen_fd);
     if (conn < 0) continue;
     service::FdStream stream(conn, conn, g_signal_pipe[0]);
     served += service::serve(stream, svc);
@@ -189,6 +204,44 @@ int run_socket(const std::string& path, const service::ServiceOptions& opts) {
   }
   ::close(listen_fd);
   ::unlink(path.c_str());
+  svc.drain();
+  std::fprintf(stderr, "parmemd: drained after %llu responses\n",
+               (unsigned long long)served);
+  print_service_summary(svc);
+  return 0;
+}
+
+int run_tcp(const std::string& spec, const service::ServiceOptions& opts) {
+  const support::HostPort hp = support::parse_host_port(spec);
+  std::uint16_t port = hp.port;
+  const int listen_fd = support::listen_tcp(hp.host, hp.port, &port);
+  // The bound address line is load-bearing: with port 0 it is the only way
+  // a supervisor (or the network-chaos harness) learns where to connect.
+  std::fprintf(stderr, "parmemd: listening on %s:%u\n", hp.host.c_str(),
+               static_cast<unsigned>(port));
+  std::fflush(stderr);
+
+  service::CompileService svc(opts);
+  std::uint64_t served = 0;
+  for (;;) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // SIGTERM/SIGINT
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = support::accept_with_retry(listen_fd);
+    if (conn < 0) continue;
+    support::set_tcp_nodelay(conn);
+    service::FdStream stream(conn, conn, g_signal_pipe[0]);
+    // One client at a time, like the unix loop: the router holds a single
+    // connection per worker. A dropped connection ends this serve() and
+    // the next accept finds the same warm service.
+    served += service::serve(stream, svc);
+    ::close(conn);
+  }
+  ::close(listen_fd);
   svc.drain();
   std::fprintf(stderr, "parmemd: drained after %llu responses\n",
                (unsigned long long)served);
@@ -413,6 +466,7 @@ int run_soak(service::ServiceOptions opts, std::uint64_t seconds,
 int run_parmemd(int argc, char** argv) {
   service::ServiceOptions opts;
   std::string socket_path;
+  std::string tcp_spec;
   std::uint64_t soak_seconds = 0;
   std::uint64_t seed = 0x5eedULL;
   std::string trace_path;
@@ -437,6 +491,8 @@ int run_parmemd(int argc, char** argv) {
     };
     if (arg == "--socket") {
       socket_path = next();
+    } else if (arg == "--listen-tcp") {
+      tcp_spec = next();
     } else if (arg == "--soak") {
       soak_seconds = next_count();
     } else if (arg == "--cache-dir") {
@@ -470,7 +526,10 @@ int run_parmemd(int argc, char** argv) {
       return usage();
     }
   }
-  if (!socket_path.empty() && soak_seconds != 0) return usage();
+  // --socket, --listen-tcp and --soak are mutually exclusive modes.
+  if ((!socket_path.empty()) + (!tcp_spec.empty()) + (soak_seconds != 0) > 1) {
+    return usage();
+  }
 
   install_signal_pipe();
 
@@ -489,6 +548,8 @@ int run_parmemd(int argc, char** argv) {
     rc = run_soak(opts, soak_seconds, seed);
   } else if (!socket_path.empty()) {
     rc = run_socket(socket_path, opts);
+  } else if (!tcp_spec.empty()) {
+    rc = run_tcp(tcp_spec, opts);
   } else {
     rc = run_stdio(opts);
   }

@@ -63,6 +63,58 @@ class WorkerChannel {
 using WorkerFactory = std::function<std::unique_ptr<WorkerChannel>(
     std::uint32_t index, std::uint32_t incarnation)>;
 
+/// Tuning for the TCP channel's connect loop. A "spawn" of a TCP worker is
+/// a connect: the factory retries refused/timed-out connects with bounded
+/// jittered backoff before giving up, and the router's respawn supervision
+/// forms the outer reconnect loop on top (so a remote daemon restart is
+/// ridden out by exactly the machinery that rides out a local crash).
+struct TcpChannelOptions {
+  /// Wall-clock budget for one connect attempt.
+  std::uint64_t connect_timeout_ms = 2000;
+  /// Connect attempts per spawn before the factory fails (>= 1).
+  std::uint32_t connect_attempts = 4;
+  /// Jittered backoff between attempts (support::backoff_with_jitter_ms,
+  /// seeded by the endpoint so distinct workers decorrelate).
+  std::uint64_t connect_backoff_base_ms = 20;
+  std::uint64_t connect_backoff_cap_ms = 500;
+};
+
+/// Connects to a parmemd-compatible daemon at host:port (parmemd
+/// --listen-tcp) and wraps the connection as a WorkerChannel. The wire
+/// protocol is identical to the socketpair channels — PMF1 frames — so
+/// heartbeats, torn-frame detection, and death-sweep re-drive work
+/// unchanged over the network. kill() slams the socket shut (the remote
+/// daemon survives and the next incarnation reconnects to a warm cache);
+/// join() reports clean unless the channel was killed. Throws
+/// support::UserError when every connect attempt fails.
+std::unique_ptr<WorkerChannel> connect_tcp_worker(
+    const std::string& host, std::uint16_t port,
+    const TcpChannelOptions& opts = {});
+
+/// An in-process TCP endpoint serving the compile protocol — the
+/// test/bench stand-in for a remote parmemd --listen-tcp. One
+/// CompileService persists across connections (reconnects find a warm
+/// in-memory cache, like a real daemon); connections are served one at a
+/// time, mirroring parmemd's sequential accept loop. Port 0 binds an
+/// ephemeral port; a fixed port lets a chaos harness "restart the daemon"
+/// at the address the router keeps reconnecting to.
+class TcpServerHandle {
+ public:
+  virtual ~TcpServerHandle() = default;
+  virtual std::uint16_t port() const = 0;
+  virtual service::CompileService* service() = 0;
+  /// Forcibly drops the currently served connection (a mid-request cable
+  /// pull). The server keeps accepting; a reconnect succeeds.
+  virtual void drop_connection() = 0;
+  /// Stops accepting and drops any live connection for good — the SIGKILL
+  /// analogue for an in-process endpoint. Idempotent.
+  virtual void stop() = 0;
+};
+
+std::unique_ptr<TcpServerHandle> serve_tcp_inprocess(
+    const service::ServiceOptions& opts,
+    const std::string& host = "127.0.0.1", std::uint16_t port = 0);
+
 /// fork/execs `argv` (argv[0] is the parmemd binary path) with the worker
 /// end of a socketpair as stdin/stdout. When `stderr_path` is non-empty the
 /// child's stderr is appended there (both incarnations of a respawned

@@ -137,6 +137,32 @@ std::size_t Router::pending() const {
   return pending_count_;
 }
 
+std::vector<std::uint32_t> Router::ring_workers() const {
+  std::lock_guard<std::mutex> lk(ring_mu_);
+  std::vector<std::uint32_t> out;
+  out.reserve(slots_.size());
+  for (std::uint32_t w = 0; w < slots_.size(); ++w) {
+    if (ring_.contains(w)) out.push_back(w);
+  }
+  return out;
+}
+
+std::optional<std::uint32_t> Router::owner_of(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lk(ring_mu_);
+  return ring_.owner(key);
+}
+
+std::uint64_t Router::ring_digest() const {
+  std::lock_guard<std::mutex> lk(ring_mu_);
+  std::string owners;
+  owners.reserve(4096);
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    const auto owner = ring_.owner(key);
+    owners.push_back(owner.has_value() ? static_cast<char>(*owner) : '\xff');
+  }
+  return service::fnv1a64(owners);
+}
+
 void Router::publish_gauge(Slot& slot, std::size_t inflight) {
   if constexpr (telemetry::kEnabled) {
     telemetry::record(*slot.gauge_metric, slot.inflight_gauge.c_str(),
@@ -204,7 +230,11 @@ void Router::enqueue_locked(Slot& slot, std::unique_ptr<Pending> p) {
 
 void Router::route(std::unique_ptr<Pending> p, bool fresh) {
   ++p->attempts;
-  const std::vector<std::uint32_t> order = ring_.failover_order(p->key);
+  std::vector<std::uint32_t> order;
+  {
+    std::lock_guard<std::mutex> lk(ring_mu_);
+    order = ring_.failover_order(p->key);
+  }
   for (std::size_t i = 0; i < order.size(); ++i) {
     Slot& slot = *slots_[order[i]];
     bool sent = false;
@@ -490,6 +520,7 @@ void Router::tick_slots(Clock::time_point now) {
     Slot* slot = nullptr;
     bool join = false;
     bool respawn = false;
+    bool rebalance = false;
   };
   std::vector<Action> actions;
   for (const auto& sp : slots_) {
@@ -512,15 +543,29 @@ void Router::tick_slots(Clock::time_point now) {
         break;
       case WorkerState::kDead:
         actions.push_back({&slot, slot.threads_live,
-                           now >= slot.respawn_at});
+                           now >= slot.respawn_at, false});
         break;
       case WorkerState::kFailed:
-        if (slot.threads_live) actions.push_back({&slot, true, false});
+        if (slot.threads_live || !slot.rebalanced) {
+          // The rebalance runs once, after the dead incarnation's threads
+          // are joined; marking here (under slot.mu) makes it one-shot.
+          const bool rebalance = !slot.rebalanced;
+          slot.rebalanced = true;
+          actions.push_back({&slot, slot.threads_live, false, rebalance});
+        }
         break;
     }
   }
   for (const Action& a : actions) {
     if (a.join) join_slot_threads(*a.slot);
+    if (a.rebalance) {
+      bool draining = false;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        draining = draining_;
+      }
+      if (!draining) rebalance_slot(*a.slot);
+    }
     if (!a.respawn) continue;
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -542,6 +587,63 @@ void Router::tick_slots(Clock::time_point now) {
                                a.slot->failed_spawns, a.slot->index));
       }
     }
+  }
+}
+
+void Router::rebalance_slot(Slot& slot) {
+  {
+    std::lock_guard<std::mutex> lk(ring_mu_);
+    if (!ring_.contains(slot.index)) return;
+    ring_.remove_worker(slot.index);
+  }
+  // From here the failed slot's keyspace deterministically belongs to the
+  // survivors: failover_order no longer lists it, and the new owner is the
+  // *primary* for those keys (routing there is no longer a spill). The
+  // ring transition is a pure function of the surviving member set —
+  // identical across runs, pinnable by digest.
+  bump(&Counters::rebalanced);
+  PARMEM_COUNTER_ADD("route.rebalance.retired", 1);
+  PARMEM_INSTANT("route.rebalance.retired");
+  if (!opts_.shard_migrator) return;
+
+  const OwnerFn owner_fn = [this](std::uint64_t key) {
+    std::lock_guard<std::mutex> lk(ring_mu_);
+    return ring_.owner(key);
+  };
+  RebalanceReport report;
+  try {
+    report = opts_.shard_migrator(slot.index, owner_fn);
+  } catch (const std::exception&) {
+    // Migration is best-effort warmth, never correctness: the keyspace has
+    // already moved; the successors just warm organically instead.
+    PARMEM_COUNTER_ADD("route.rebalance.migrate_failures", 1);
+    return;
+  }
+  if (report.migrated_entries > 0) {
+    bump(&Counters::migrated_entries, report.migrated_entries);
+    PARMEM_COUNTER_ADD("route.rebalance.migrated", report.migrated_entries);
+  }
+  if (report.skipped_entries > 0) {
+    PARMEM_COUNTER_ADD("route.rebalance.skipped", report.skipped_entries);
+  }
+  // Recycle each warmed survivor with a hard kill: the ordinary death
+  // sweep re-drives its in-flights (exactly-once holds) and the respawn's
+  // fresh incarnation warm-loads the merged journal from disk — the same
+  // machinery a crash exercises, so warm-restart identity is already
+  // covered by the existing byte-identity checks.
+  std::uint64_t recycled = 0;
+  for (const std::uint32_t w : report.warmed_workers) {
+    if (w >= slots_.size() || w == slot.index) continue;
+    Slot& s = *slots_[w];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.state == WorkerState::kUp && s.chan) {
+      s.chan->kill();
+      ++recycled;
+    }
+  }
+  if (recycled > 0) {
+    bump(&Counters::recycled_workers, recycled);
+    PARMEM_COUNTER_ADD("route.rebalance.recycled", recycled);
   }
 }
 

@@ -4,7 +4,14 @@
 // requests out with consistent-hash routing (ring.h) keyed by the request's
 // cacheable-part hash, so each worker's result/atom caches concentrate on a
 // stable shard of the key space — and keep that shard across restarts,
-// because ring membership is the *configured* fleet, never the live one.
+// because a transiently dead worker keeps its ring points (its keys spill
+// to successors and come straight back on respawn). Only a *permanent*
+// failure (max_respawns exhausted) changes membership: the rebalancer
+// retires the failed slot's virtual nodes from the live ring, so its
+// keyspace deterministically re-homes to the survivors, and an optional
+// ShardMigrator moves the failed slot's on-disk result journal to the new
+// owners, which are then recycled so their respawn warm-loads the merged
+// journal.
 //
 // Request lifecycle (DESIGN.md §14):
 //
@@ -23,8 +30,10 @@
 //              seeded by the cache key) until it lands on a live worker or
 //              exhausts its attempts (then kInternalError). The dead worker
 //              is respawned with its own bounded jittered backoff; after
-//              max_respawns consecutive failures it is marked failed and
-//              its shard spills to the ring successors for good.
+//              max_respawns consecutive failures it is marked failed, its
+//              virtual nodes are retired from the live ring, and its shard
+//              is rebalanced onto the surviving owners (journal migration +
+//              successor recycle when a ShardMigrator is configured).
 //   supervisor --> heartbeats (a tiny canonical compile request; ANY
 //              terminal status counts as a beat — a shedding worker is an
 //              overloaded worker, not a dead one) with a hard timeout that
@@ -49,6 +58,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -61,6 +71,28 @@
 #include "telemetry/telemetry.h"
 
 namespace parmem::router {
+
+/// Report from a ShardMigrator: how many result-journal entries moved to
+/// surviving owners' directories, how many were left behind (unparseable
+/// name, ring empty, rename failure), and which workers' journals gained
+/// entries — the router recycles those workers so their next incarnation
+/// warm-loads the merged journal through the ordinary respawn path.
+struct RebalanceReport {
+  std::uint64_t migrated_entries = 0;
+  std::uint64_t skipped_entries = 0;
+  std::vector<std::uint32_t> warmed_workers;
+};
+
+/// Maps a cache key to its current live-ring owner (nullopt when every
+/// slot has failed). Thread-safe; valid only during the migrator call.
+using OwnerFn = std::function<std::optional<std::uint32_t>(std::uint64_t)>;
+
+/// Invoked once per permanently failed slot, after its virtual nodes have
+/// been retired from the live ring, from the supervisor thread. Exceptions
+/// are swallowed (migration is best-effort; routing correctness never
+/// depends on it).
+using ShardMigrator = std::function<RebalanceReport(
+    std::uint32_t failed_index, const OwnerFn& owner_of)>;
 
 struct RouterOptions {
   std::size_t workers = 2;
@@ -86,6 +118,11 @@ struct RouterOptions {
   std::uint32_t max_respawns = 8;
   std::uint64_t respawn_base_ms = 20;
   std::uint64_t respawn_cap_ms = 2000;
+  /// Cache-shard migration hook for the rebalance that follows a permanent
+  /// slot failure (see rebalance.h for the on-disk implementation). Unset:
+  /// the keyspace still moves to the surviving owners, but their caches
+  /// warm organically instead of from the failed slot's journal.
+  ShardMigrator shard_migrator;
 };
 
 /// Outcome of reading one frame off a worker connection.
@@ -127,6 +164,9 @@ class Router {
     std::uint64_t late_responses = 0;     // dropped: wire id already swept
     std::uint64_t protocol_errors = 0;    // malformed worker bytes
     std::uint64_t completed = 0;          // terminal responses of any status
+    std::uint64_t rebalanced = 0;         // failed slots retired from the ring
+    std::uint64_t migrated_entries = 0;   // journal entries moved by migrators
+    std::uint64_t recycled_workers = 0;   // successors cycled to warm-load
   };
 
   enum class WorkerState : std::uint8_t { kUp, kDead, kFailed };
@@ -173,7 +213,16 @@ class Router {
   std::vector<WorkerInfo> workers() const;
   std::size_t alive_workers() const;
   std::size_t pending() const;
-  const HashRing& ring() const { return ring_; }
+  /// Live ring membership: the configured workers minus permanently failed
+  /// (retired) slots, in ascending index order.
+  std::vector<std::uint32_t> ring_workers() const;
+  /// The live-ring primary for a cache key, or nullopt when every slot has
+  /// failed.
+  std::optional<std::uint32_t> owner_of(std::uint64_t key) const;
+  /// FNV-1a digest of the live ring's owner assignment over cache keys
+  /// 0..4095 — a pure function of the member set, so a rebalanced ring's
+  /// digest is pinnable in tests and identical across runs.
+  std::uint64_t ring_digest() const;
   const RouterOptions& options() const { return opts_; }
 
  private:
@@ -201,6 +250,7 @@ class Router {
     std::uint32_t failed_spawns = 0;  // consecutive
     std::chrono::steady_clock::time_point respawn_at{};
     bool threads_live = false;
+    bool rebalanced = false;  // failed slot already retired from the ring
 
     bool hb_outstanding = false;
     std::chrono::steady_clock::time_point hb_sent{};
@@ -245,12 +295,22 @@ class Router {
   void supervisor_loop();
   /// Heartbeat + respawn scan; takes each slot's lock briefly, never mu_.
   void tick_slots(std::chrono::steady_clock::time_point now);
+  /// Retires a permanently failed slot's virtual nodes from the live ring,
+  /// runs the shard migrator, and recycles the warmed successors. Runs on
+  /// the supervisor thread, once per failed slot, after its threads are
+  /// joined.
+  void rebalance_slot(Slot& slot);
   void send_heartbeat_locked(Slot& slot,
                              std::chrono::steady_clock::time_point now);
   void publish_gauge(Slot& slot, std::size_t inflight);
   void bump(std::uint64_t Counters::* field, std::uint64_t delta = 1);
 
   RouterOptions opts_;
+  /// The live ring. Construction populates it with every configured worker;
+  /// the only later mutation is rebalance_slot retiring a permanently
+  /// failed slot, so lookups take ring_mu_ (leaf lock, held only for the
+  /// lookup itself — never while a slot lock or mu_ is wanted).
+  mutable std::mutex ring_mu_;
   HashRing ring_;
   WorkerFactory factory_;
   std::vector<std::unique_ptr<Slot>> slots_;

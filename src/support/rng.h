@@ -78,12 +78,25 @@ inline std::uint64_t backoff_with_jitter_ms(std::uint64_t base_ms,
                                             std::uint64_t seed) {
   if (base_ms == 0) return 0;
   PARMEM_CHECK(attempt > 0, "backoff attempts are 1-based");
-  std::uint64_t delay = base_ms;
-  for (std::uint32_t i = 1; i < attempt && delay < cap_ms; ++i) {
-    delay = delay > cap_ms / 2 ? cap_ms : delay * 2;
+  // Saturating closed form min(cap_ms, base_ms * 2^(attempt-1)). Attempt
+  // counts are unbounded (a dead TCP endpoint reconnects for as long as the
+  // router supervises it), so the exponent is capped before any shift: past
+  // 2^63 the doubling has saturated for every base >= 1, and an uncapped
+  // shift would be undefined. The shift itself cannot overflow because it
+  // only runs when base_ms <= cap_ms >> exp, which bounds the result by
+  // cap_ms.
+  const std::uint32_t exp = attempt - 1;
+  std::uint64_t delay;
+  if (exp < 64 && base_ms <= (cap_ms >> exp)) {
+    delay = base_ms << exp;
+  } else {
+    delay = cap_ms;
   }
-  delay = std::min(delay, cap_ms);
-  SplitMix64 rng(seed ^ (0x9e3779b97f4a7c15ULL * (attempt + 1)));
+  // The jitter seed widens attempt before the multiply so attempt values
+  // near UINT32_MAX cannot wrap to a degenerate 0 factor.
+  SplitMix64 rng(seed ^
+                 (0x9e3779b97f4a7c15ULL *
+                  (static_cast<std::uint64_t>(attempt) + 1)));
   const std::uint64_t half = delay / 2;
   return delay - half + (half != 0 ? rng.below(half + 1) : 0);
 }

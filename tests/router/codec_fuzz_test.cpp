@@ -1,10 +1,16 @@
 // Fuzz corpus for the router's worker-facing codec path
 // (read_worker_response): every malformed byte stream a crashed, corrupted,
 // or adversarial worker could produce must collapse to kEof/kError — never
-// a throw, a crash, or a bogus kResponse.
+// a throw, a crash, or a bogus kResponse. The MemoryStream corpus covers
+// byte-level malformation; the fd-backed cases below replay the TCP
+// transport's failure shape — a peer that disconnects mid-frame — through
+// the same FdStream the network channel reads.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "router/router.h"
@@ -92,6 +98,77 @@ TEST(RouterCodec, ValidThenTruncatedYieldsResponseThenError) {
   EXPECT_EQ(read_worker_response(in, resp, &err), WorkerRead::kResponse);
   EXPECT_EQ(resp.id, 3u);
   EXPECT_EQ(read_worker_response(in, resp, &err), WorkerRead::kError);
+}
+
+/// Writes `bytes` into a socketpair (the same fd shape as a TCP
+/// connection), closes the writing end — the mid-frame disconnect — and
+/// returns the classification the router's reader would see.
+WorkerRead read_after_disconnect(const std::string& bytes,
+                                 CompileResponse& resp, std::string* err) {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread writer([fd = fds[1], bytes] {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);  // the disconnect
+  });
+  service::FdStream in(fds[0], fds[0]);
+  const WorkerRead r = read_worker_response(in, resp, err);
+  writer.join();
+  ::close(fds[0]);
+  return r;
+}
+
+TEST(RouterCodec, MidFrameDisconnectOverAFdIsATypedError) {
+  const std::string valid_frame = frame_of(valid_response_payload(9));
+  // Disconnect points: inside the magic, after the full header, and at
+  // every byte of a short torn payload tail.
+  std::vector<std::string> cuts = {
+      valid_frame.substr(0, 2),                       // mid-magic
+      valid_frame.substr(0, 8),                       // header, no payload
+      valid_frame.substr(0, 9),                       // one payload byte
+      valid_frame.substr(0, valid_frame.size() / 2),  // mid-payload
+      valid_frame.substr(0, valid_frame.size() - 1),  // one byte short
+  };
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    SCOPED_TRACE(i);
+    CompileResponse resp;
+    std::string err;
+    EXPECT_EQ(read_after_disconnect(cuts[i], resp, &err),
+              WorkerRead::kError);
+    EXPECT_FALSE(err.empty()) << "transport errors must carry a reason";
+  }
+}
+
+TEST(RouterCodec, DisconnectAtAFrameBoundaryIsCleanEof) {
+  // A peer that vanishes *between* frames is an orderly EOF — the death
+  // sweep runs, but nothing is a protocol error.
+  CompileResponse resp;
+  std::string err;
+  EXPECT_EQ(read_after_disconnect("", resp, &err), WorkerRead::kEof);
+}
+
+TEST(RouterCodec, FullFrameThenDisconnectYieldsResponseThenEof) {
+  const std::string valid_frame = frame_of(valid_response_payload(11));
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread writer([fd = fds[1], valid_frame] {
+    (void)!::send(fd, valid_frame.data(), valid_frame.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  });
+  service::FdStream in(fds[0], fds[0]);
+  CompileResponse resp;
+  std::string err;
+  EXPECT_EQ(read_worker_response(in, resp, &err), WorkerRead::kResponse);
+  EXPECT_EQ(resp.id, 11u);
+  EXPECT_EQ(read_worker_response(in, resp, &err), WorkerRead::kEof);
+  writer.join();
+  ::close(fds[0]);
 }
 
 TEST(RouterCodec, RandomBytesNeverCrash) {

@@ -121,7 +121,7 @@ TEST(Router, ResponseCarriesTheClientIdNotTheWireId) {
 TEST(Router, EqualKeysStickToTheRingOwner) {
   Router rt(fast_options(3), inprocess_factory());
   const CompileRequest req = tiny_stream(1);
-  const std::uint32_t owner = *rt.ring().owner(service::cache_key(req));
+  const std::uint32_t owner = *rt.owner_of(service::cache_key(req));
   for (std::uint64_t i = 0; i < 6; ++i) {
     CompileRequest r = req;
     r.id = 10 + i;
@@ -146,7 +146,7 @@ TEST(Router, SaturatedOwnerSpillsToTheRingSuccessor) {
   // A heavy request parks on its owner; an equal-key follow-up must spill
   // to the successor instead of queueing behind it.
   const CompileRequest probe = heavy_stream(1, 0x5B1);
-  const std::uint32_t owner = *rt.ring().owner(service::cache_key(probe));
+  const std::uint32_t owner = *rt.owner_of(service::cache_key(probe));
   auto first = rt.submit(probe);
   CompileRequest second = probe;
   second.id = 2;

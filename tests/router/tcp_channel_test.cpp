@@ -1,0 +1,379 @@
+// The TCP worker channel end to end (channel.h / support/net.h): a router
+// whose workers are network endpoints must keep every supervision contract
+// the local channels have — reconnect with bounded backoff, torn-frame
+// detection on disconnect, heartbeat silence kill, idempotent re-drive —
+// and above all exactly one terminal response per request, across any
+// number of dropped connections.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/channel.h"
+#include "router/router.h"
+#include "service/frame.h"
+#include "service/request.h"
+#include "service/server.h"
+#include "support/diagnostics.h"
+#include "support/net.h"
+#include "support/rng.h"
+
+namespace parmem::router {
+namespace {
+
+using service::CompileRequest;
+using service::CompileResponse;
+using service::RequestKind;
+using service::ResponseStatus;
+
+RouterOptions fast_options(std::size_t workers) {
+  RouterOptions opts;
+  opts.workers = workers;
+  opts.supervisor_poll_ms = 2;
+  opts.heartbeat_period_ms = 25;
+  opts.heartbeat_timeout_ms = 2000;
+  opts.respawn_base_ms = 5;
+  opts.respawn_cap_ms = 50;
+  opts.retry.base_backoff_ms = 2;
+  opts.retry.max_backoff_ms = 20;
+  return opts;
+}
+
+TcpChannelOptions fast_tcp() {
+  TcpChannelOptions t;
+  t.connect_timeout_ms = 1000;
+  t.connect_attempts = 2;
+  t.connect_backoff_base_ms = 2;
+  t.connect_backoff_cap_ms = 20;
+  return t;
+}
+
+CompileRequest tiny_stream(std::uint64_t id) {
+  CompileRequest req;
+  req.id = id;
+  req.kind = RequestKind::kStream;
+  req.module_count = 2;
+  req.fu_count = 2;
+  req.body = "stream 2\ntuple 0 1\n";
+  return req;
+}
+
+CompileRequest heavy_stream(std::uint64_t id, std::uint64_t salt) {
+  support::SplitMix64 rng(salt);
+  const std::uint64_t values = 96;
+  std::string text = "stream " + std::to_string(values) + "\n";
+  for (std::uint64_t t = 0; t < 220; ++t) {
+    const std::uint64_t a = rng.below(values);
+    const std::uint64_t b = (a + 1 + rng.below(values - 1)) % values;
+    text += "tuple " + std::to_string(a) + ' ' + std::to_string(b) + '\n';
+  }
+  CompileRequest req;
+  req.id = id;
+  req.kind = RequestKind::kStream;
+  req.module_count = 8;
+  req.fu_count = 8;
+  req.body = std::move(text);
+  return req;
+}
+
+bool wait_until(const std::function<bool()>& cond, std::uint64_t budget_ms) {
+  const auto t_end = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(budget_ms);
+  while (std::chrono::steady_clock::now() < t_end) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return cond();
+}
+
+/// N in-process TCP endpoints plus the factory that connects to them by
+/// index — the loopback fleet every test here routes over.
+struct TcpFleet {
+  std::vector<std::unique_ptr<TcpServerHandle>> servers;
+
+  explicit TcpFleet(std::size_t n, service::ServiceOptions sopts = {}) {
+    if (sopts.workers == 0) sopts.workers = 1;
+    sopts.queue_capacity = 256;
+    for (std::size_t i = 0; i < n; ++i) {
+      servers.push_back(serve_tcp_inprocess(sopts));
+    }
+  }
+
+  WorkerFactory factory() {
+    return [this](std::uint32_t index, std::uint32_t) {
+      return connect_tcp_worker("127.0.0.1", servers[index]->port(),
+                                fast_tcp());
+    };
+  }
+};
+
+TEST(TcpChannel, RoundTripsRequestsOverLoopback) {
+  TcpFleet fleet(2);
+  Router rt(fast_options(2), fleet.factory());
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    const CompileResponse resp = rt.handle(heavy_stream(i, 0x7C9 + i));
+    EXPECT_TRUE(resp.ok()) << resp.diagnostic;
+    EXPECT_EQ(resp.id, i);
+    EXPECT_FALSE(resp.body.empty());
+  }
+  const auto c = rt.counters();
+  EXPECT_EQ(c.completed, 6u);
+  EXPECT_EQ(c.failed, 0u);
+  rt.drain();
+}
+
+TEST(TcpChannel, DroppedConnectionReconnectsToTheSameWarmService) {
+  TcpFleet fleet(1);
+  RouterOptions opts = fast_options(1);
+  opts.heartbeat_period_ms = 0;  // keep service counters readable
+  Router rt(opts, fleet.factory());
+
+  // Prime the remote cache, then pull the cable. The daemon outlives the
+  // connection, so the reconnect must find the same warm in-memory cache.
+  const CompileRequest req = tiny_stream(1);
+  ASSERT_TRUE(rt.handle(req).ok());
+  fleet.servers[0]->drop_connection();
+  ASSERT_TRUE(wait_until([&] { return rt.counters().respawns >= 1; }, 5000));
+
+  CompileRequest again = req;
+  again.id = 2;
+  ASSERT_TRUE(rt.handle(std::move(again)).ok());
+  EXPECT_GE(fleet.servers[0]->service()->counters().cache_hits, 1u);
+  EXPECT_GE(rt.counters().worker_down, 1u);
+  rt.drain();
+}
+
+TEST(TcpChannel, ExactlyOneTerminalAcrossForcedDisconnects) {
+  TcpFleet fleet(2);
+  RouterOptions opts = fast_options(2);
+  opts.retry.max_attempts = 8;
+  Router rt(opts, fleet.factory());
+
+  constexpr std::uint64_t kRequests = 24;
+  std::vector<std::atomic<int>> fired(kRequests);
+  std::atomic<std::uint64_t> done{0};
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    rt.submit(heavy_stream(i + 1, 0x7CF00 + i),
+              [&fired, &done, i](const CompileResponse& resp) {
+                EXPECT_EQ(resp.id, i + 1);
+                fired[i].fetch_add(1, std::memory_order_relaxed);
+                done.fetch_add(1, std::memory_order_relaxed);
+              });
+  }
+
+  // Pull cables mid-flight, repeatedly, on both endpoints.
+  support::SplitMix64 rng(0xD15C);
+  for (int pull = 0; pull < 5; ++pull) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    fleet.servers[rng.below(2)]->drop_connection();
+  }
+
+  ASSERT_TRUE(wait_until([&] { return done.load() == kRequests; }, 60000))
+      << "lost " << (kRequests - done.load()) << " terminals";
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(fired[i].load(), 1) << "request " << i + 1;
+  }
+  rt.drain();
+  EXPECT_EQ(rt.counters().completed, kRequests);
+}
+
+TEST(TcpChannel, ConnectToADeadEndpointFailsTypedAfterBoundedAttempts) {
+  // Bind-then-close: the port is refused, not filtered, so every attempt
+  // fails fast and the bounded-backoff loop must give up with UserError.
+  std::uint16_t port = 0;
+  const int fd = support::listen_tcp("127.0.0.1", 0, &port);
+  ::close(fd);
+  TcpChannelOptions t = fast_tcp();
+  t.connect_attempts = 3;
+  EXPECT_THROW(connect_tcp_worker("127.0.0.1", port, t),
+               support::UserError);
+}
+
+TEST(TcpChannel, StoppedEndpointDrivesTheSlotToFailedNotAHang) {
+  TcpFleet fleet(1);
+  RouterOptions opts = fast_options(1);
+  opts.max_respawns = 2;
+  TcpChannelOptions t = fast_tcp();
+  t.connect_attempts = 1;
+  const std::uint16_t port = fleet.servers[0]->port();
+  Router rt(opts, [port, t](std::uint32_t, std::uint32_t) {
+    return connect_tcp_worker("127.0.0.1", port, t);
+  });
+
+  ASSERT_TRUE(rt.handle(tiny_stream(1)).ok());
+  fleet.servers[0]->stop();  // daemon gone for good; reconnects are refused
+
+  EXPECT_TRUE(wait_until(
+      [&] {
+        return rt.workers()[0].state == Router::WorkerState::kFailed;
+      },
+      10000));
+  // With the whole fleet failed a fresh submit sheds; nothing hangs.
+  EXPECT_EQ(rt.handle(tiny_stream(2)).status, ResponseStatus::kOverloaded);
+  rt.drain();
+}
+
+/// A hostile endpoint: accepts, reads the request, then answers with a
+/// torn frame (a valid header promising more payload bytes than it sends)
+/// and slams the connection. The router must classify this as a typed
+/// transport error and re-drive — never hang, never fabricate a response.
+class TornFrameServer {
+ public:
+  TornFrameServer() {
+    listen_fd_ = support::listen_tcp("127.0.0.1", 0, &port_);
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~TornFrameServer() {
+    stop_.store(true, std::memory_order_relaxed);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (thread_.joinable()) thread_.join();
+  }
+  std::uint16_t port() const { return port_; }
+  std::uint64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      int conn = -1;
+      try {
+        conn = support::accept_with_retry(listen_fd_);
+      } catch (const support::UserError&) {
+        return;  // listener torn down
+      }
+      if (conn < 0) continue;
+      connections_.fetch_add(1, std::memory_order_relaxed);
+      // Swallow the request frame's first bytes so the router's write
+      // succeeds, then send half a frame and vanish mid-payload.
+      char sink[256];
+      (void)!::read(conn, sink, sizeof sink);
+      const std::string frame = service::encode_frame("parmem-response 1\n");
+      // MSG_NOSIGNAL: the router may have torn down its end already; a
+      // failed send is fine, a SIGPIPE would kill the test binary.
+      (void)!::send(conn, frame.data(), frame.size() / 2, MSG_NOSIGNAL);
+      ::close(conn);
+    }
+  }
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> connections_{0};
+};
+
+TEST(TcpChannel, TornFramesOnDisconnectAreTypedErrorsNotHangs) {
+  TornFrameServer server;
+  RouterOptions opts = fast_options(1);
+  opts.max_respawns = 3;
+  opts.retry.max_attempts = 3;
+  TcpChannelOptions t = fast_tcp();
+  const std::uint16_t port = server.port();
+  Router rt(opts, [port, t](std::uint32_t, std::uint32_t) {
+    return connect_tcp_worker("127.0.0.1", port, t);
+  });
+
+  // Every incarnation answers with a torn frame; the request must still
+  // reach exactly one terminal (attempts-exhausted kInternalError), and
+  // each tear must be counted as a protocol error, not silence.
+  const CompileResponse resp = rt.handle(tiny_stream(1));
+  EXPECT_EQ(resp.status, ResponseStatus::kInternalError);
+  const auto c = rt.counters();
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_GE(c.protocol_errors, 1u);
+  EXPECT_GE(c.worker_down, 1u);
+  // The terminal can land while the respawn loop is still in its backoff;
+  // the reconnect itself just has to happen, not to have happened already.
+  EXPECT_TRUE(wait_until([&] { return server.connections() >= 2; }, 5000))
+      << "no reconnect was attempted";
+  rt.drain();
+}
+
+/// Accepts and then reads forever without ever answering — a wedged remote
+/// daemon. Only the heartbeat silence timeout can catch it.
+class SilentServer {
+ public:
+  SilentServer() {
+    listen_fd_ = support::listen_tcp("127.0.0.1", 0, &port_);
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~SilentServer() {
+    stop_.store(true, std::memory_order_relaxed);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (conn_fd_ >= 0) ::shutdown(conn_fd_, SHUT_RDWR);
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void loop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      int conn = -1;
+      try {
+        conn = support::accept_with_retry(listen_fd_);
+      } catch (const support::UserError&) {
+        return;
+      }
+      if (conn < 0) continue;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        conn_fd_ = conn;
+      }
+      char sink[512];
+      while (::read(conn, sink, sizeof sink) > 0) {
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        conn_fd_ = -1;
+      }
+      ::close(conn);
+    }
+  }
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::mutex mu_;
+  int conn_fd_ = -1;
+};
+
+TEST(TcpChannel, HeartbeatSilenceKillsAWedgedRemoteWorker) {
+  SilentServer server;
+  RouterOptions opts = fast_options(1);
+  opts.heartbeat_period_ms = 10;
+  opts.heartbeat_timeout_ms = 60;
+  opts.max_respawns = 2;
+  TcpChannelOptions t = fast_tcp();
+  const std::uint16_t port = server.port();
+  Router rt(opts, [port, t](std::uint32_t, std::uint32_t) {
+    return connect_tcp_worker("127.0.0.1", port, t);
+  });
+
+  // Every incarnation connects fine and then says nothing: the network
+  // heartbeat must keep cycling it until the respawn budget fails the slot.
+  EXPECT_TRUE(wait_until(
+      [&] {
+        return rt.workers()[0].state == Router::WorkerState::kFailed;
+      },
+      10000));
+  EXPECT_GE(rt.counters().heartbeats_missed, 1u);
+  EXPECT_EQ(rt.handle(tiny_stream(1)).status, ResponseStatus::kOverloaded);
+  rt.drain();
+}
+
+}  // namespace
+}  // namespace parmem::router

@@ -123,5 +123,26 @@ TEST(BackoffWithJitter, ZeroBaseMeansNoDelay) {
   EXPECT_EQ(backoff_with_jitter_ms(0, 250, 1, 7), 0u);
 }
 
+TEST(BackoffWithJitter, HugeAttemptCountsNeverOverflow) {
+  // A TCP worker whose endpoint stays down reconnects indefinitely, so
+  // attempt counts grow without bound. The closed form must cap the
+  // exponent before shifting: every result stays within [cap/2, cap], for
+  // attempts straddling the 64-bit shift boundary and all the way to
+  // UINT32_MAX (where the old doubling loop's `attempt + 1` multiply also
+  // wrapped).
+  const std::uint64_t cap = 2000;
+  for (const std::uint32_t attempt :
+       {63u, 64u, 65u, 1000u, 1u << 20, 0xFFFFFFFEu, 0xFFFFFFFFu}) {
+    const std::uint64_t d = backoff_with_jitter_ms(20, cap, attempt, 9);
+    EXPECT_GE(d, cap / 2) << "attempt " << attempt;
+    EXPECT_LE(d, cap) << "attempt " << attempt;
+  }
+  // A base already above the cap saturates immediately, even at attempt 1.
+  EXPECT_LE(backoff_with_jitter_ms(5000, 100, 1, 3), 100u);
+  // Large bases near 2^63 must not wrap when doubled.
+  const std::uint64_t big = std::uint64_t{1} << 62;
+  EXPECT_LE(backoff_with_jitter_ms(big, big + 17, 9, 4), big + 17);
+}
+
 }  // namespace
 }  // namespace parmem::support
